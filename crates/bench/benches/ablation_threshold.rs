@@ -1,0 +1,18 @@
+//! A2 — ablation: cost of the `A_apx` decision pipeline (γ + Δ + branch)
+//! under different switching-threshold multipliers. The interference
+//! effect per threshold is reported by `figures -- A2`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::experiments::ablation_threshold;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ablation_threshold");
+    g.sample_size(10);
+    g.bench_function(BenchmarkId::from_parameter("families_x_thresholds"), |b| {
+        b.iter(|| ablation_threshold(13));
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,19 @@
+//! F1 — Figure 1: cost of the node-arrival robustness experiment
+//! (both interference measures, before/after), per cluster size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::experiments::fig1_robustness;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig1_robustness");
+    g.sample_size(10);
+    for n in [50usize, 100, 200] {
+        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            b.iter(|| fig1_robustness(&[n], 99));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

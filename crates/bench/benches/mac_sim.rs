@@ -1,0 +1,34 @@
+//! S1 — MAC simulation throughput: slots/second over controlled
+//! topologies (the substrate behind the collisions experiment).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_sim::{MacConfig, SimConfig, Simulator, TrafficConfig};
+use rim_topology_control::Baseline;
+use rim_udg::udg::unit_disk_graph;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mac_sim");
+    g.sample_size(10);
+    let nodes = rim_workloads::uniform_square(60, 2.2, 2025);
+    let udg = unit_disk_graph(&nodes);
+    for baseline in [Baseline::Emst, Baseline::Nnf, Baseline::Life] {
+        let t = baseline.build(&nodes, &udg);
+        let cfg = SimConfig {
+            slots: 5_000,
+            mac: MacConfig::csma(),
+            traffic: TrafficConfig::Cbr { flows: 12, period: 40 },
+            alpha: 2.0,
+            seed: 7,
+        };
+        let sim = Simulator::new(t, cfg);
+        g.bench_with_input(
+            BenchmarkId::from_parameter(baseline.name()),
+            &sim,
+            |b, sim| b.iter(|| sim.run()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,227 @@
+//! Regenerate the data behind every figure/theorem of the paper.
+//!
+//! ```text
+//! cargo run --release -p rim-bench --bin figures            # everything
+//! cargo run --release -p rim-bench --bin figures -- F8 S1   # selected ids
+//! cargo run --release -p rim-bench --bin figures -- --csv results/
+//! cargo run --release -p rim-bench --bin figures -- --svg figures/  # SVG renders
+//! ```
+//!
+//! Experiment ids: F1 F1T F2 T41 F7 F8 T52 F9 T56 T56L S1 S2 S3 X1 X2
+//! P1 M1 A1 A2 B2D (see DESIGN.md for the paper artifact each id
+//! reproduces).
+
+use rim_bench::experiments as ex;
+use rim_bench::record::{render_table, write_csv, Row};
+use std::path::{Path, PathBuf};
+
+/// Renders the paper's visual figures as SVG files.
+fn write_svgs(dir: &Path) {
+    use rim_highway::exponential::two_chains;
+    use rim_topology_control::nnf::nearest_neighbor_forest;
+    use rim_udg::udg::unit_disk_graph;
+    use rim_viz::{render_highway_arcs, render_topology, RenderOptions};
+
+    std::fs::create_dir_all(dir).expect("create svg dir");
+    let save = |name: &str, content: String| {
+        let path = dir.join(name);
+        std::fs::write(&path, content).expect("write svg");
+        println!("(wrote {})", path.display());
+    };
+
+    // Figure 2: the five-node sample with its interference disks.
+    let ns = rim_udg::NodeSet::new(vec![
+        rim_geom::Point::new(0.0, 0.0),
+        rim_geom::Point::new(-0.2, 0.0),
+        rim_geom::Point::new(0.8, 0.0),
+        rim_geom::Point::new(1.3, 0.65),
+        rim_geom::Point::new(-0.15, 0.08),
+    ]);
+    let fig2 = rim_udg::Topology::from_pairs(ns, &[(0, 1), (2, 3), (1, 4)]);
+    save(
+        "fig2_sample.svg",
+        render_topology(
+            &fig2,
+            RenderOptions {
+                show_disks: true,
+                show_interference: true,
+                ..RenderOptions::default()
+            },
+        ),
+    );
+
+    // Figures 3-5: the two-chain construction, NNF vs witness.
+    let tc = two_chains(10);
+    let udg = unit_disk_graph(&tc.nodes);
+    let nnf = nearest_neighbor_forest(&tc.nodes, &udg);
+    save("fig4_nnf.svg", render_topology(&nnf, RenderOptions::default()));
+    save(
+        "fig5_witness.svg",
+        render_topology(&tc.witness_topology(), RenderOptions::default()),
+    );
+
+    // Figure 7: the linearly connected exponential chain (log axis).
+    let chain = rim_highway::exponential_chain(16);
+    save(
+        "fig7_linear_chain.svg",
+        render_highway_arcs(&chain, &chain.linear_topology(), true),
+    );
+
+    // Figure 8: A_exp on the exponential chain, arcs + hollow hubs.
+    let aexp = rim_highway::a_exp(&chain);
+    save(
+        "fig8_aexp.svg",
+        render_highway_arcs(&chain, &aexp.topology, true),
+    );
+
+    // Figure 9: A_gen on a uniform highway (linear axis).
+    let h = rim_workloads::uniform_highway(60, 2.5, 17);
+    let agen = rim_highway::a_gen(&h);
+    save(
+        "fig9_agen.svg",
+        render_highway_arcs(&h, &agen.topology, false),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut csv_dir: Option<PathBuf> = None;
+    let mut svg_dir: Option<PathBuf> = None;
+    let mut selected: Vec<String> = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--csv" {
+            csv_dir = Some(PathBuf::from(
+                it.next().expect("--csv needs a directory"),
+            ));
+        } else if a == "--svg" {
+            svg_dir = Some(PathBuf::from(
+                it.next().expect("--svg needs a directory"),
+            ));
+        } else {
+            selected.push(a.to_uppercase());
+        }
+    }
+    if let Some(dir) = &svg_dir {
+        write_svgs(dir);
+    }
+    let want = |id: &str| selected.is_empty() || selected.iter().any(|s| s == id);
+
+    type Experiment = (&'static str, &'static str, fn() -> Vec<Row>);
+    let experiments: Vec<Experiment> = vec![
+        (
+            "F1",
+            "Figure 1 — one arrival: sender-centric explodes, receiver-centric stays constant",
+            || ex::fig1_robustness(&[10, 20, 50, 100, 200, 400], 99),
+        ),
+        (
+            "F1T",
+            "Growth trajectory — both measures over a whole arrival sequence",
+            || ex::fig1_growth(40, 99),
+        ),
+        ("F2", "Figure 2 — five-node sample, I(u) = 2", ex::fig2_sample),
+        (
+            "T41",
+            "Theorem 4.1 / Figures 3-5 — NNF is Ω(n)× worse than the witness tree",
+            || ex::thm41_nnf_vs_witness(&[4, 8, 16, 32, 64, 128]),
+        ),
+        (
+            "F7",
+            "Figures 6-7 — linear exponential chain: I = n − 2",
+            || ex::fig7_linear_chain(&[4, 8, 16, 32, 64, 128, 256]),
+        ),
+        (
+            "F8",
+            "Figure 8 / Theorem 5.1 — A_exp: √n ≤ I ≤ √(2n)+1",
+            || ex::fig8_aexp(&[9, 16, 36, 64, 100, 196, 400]),
+        ),
+        (
+            "T52",
+            "Theorem 5.2 — exact optimum vs √n lower bound (branch & bound)",
+            || ex::thm52_lower_bound(&[4, 5, 6, 7, 8, 9, 10]),
+        ),
+        (
+            "F9",
+            "Figure 9 / Theorem 5.4 — A_gen: I = O(√Δ) on uniform highways",
+            || ex::fig9_agen(&[50, 100, 200, 400, 800, 1600], 17),
+        ),
+        (
+            "T56",
+            "Theorem 5.6 — A_apx vs exact optimum (small instances)",
+            || ex::thm56_ratio_small(12, 1000),
+        ),
+        (
+            "T56L",
+            "Theorem 5.6 — A_apx vs √(γ/2) certificate (large instances)",
+            || ex::thm56_ratio_large(7),
+        ),
+        (
+            "S1",
+            "Intro claim — MAC simulation: lower I ⇒ fewer collisions/retransmissions",
+            || ex::sim_experiment(2025),
+        ),
+        (
+            "S2",
+            "Extension — CSMA vs collision-free TDMA on the same traffic",
+            || ex::sim_tdma_vs_csma(2025),
+        ),
+        (
+            "X1",
+            "Extension — TDMA frame length tracks interference",
+            || ex::tdma_frames(0),
+        ),
+        (
+            "S3",
+            "Per-node claim — I(v) correlates with observed collision rate at v",
+            || ex::per_node_correlation(41),
+        ),
+        (
+            "M1",
+            "Mobility — interference stability and churn under random waypoint",
+            || ex::mobility(77),
+        ),
+        (
+            "P1",
+            "Localized protocols — rounds/messages of distributed XTC/LMST/NNF",
+            || ex::protocol_stats(31),
+        ),
+        (
+            "X2",
+            "Extension — A_gen2 in the plane (the paper's future work)",
+            || ex::plane_extension(&[100, 200, 400, 800], 23),
+        ),
+        (
+            "A1",
+            "Ablation — hub spacing in A_gen (paper: ⌈√Δ⌉)",
+            || ex::ablation_hub_spacing(11),
+        ),
+        (
+            "A2",
+            "Ablation — A_apx switching threshold γ > c·√Δ (paper: c = 1)",
+            || ex::ablation_threshold(13),
+        ),
+        (
+            "B2D",
+            "Baselines on a 2-D field — receiver vs sender measures",
+            || ex::baselines_2d(23),
+        ),
+    ];
+
+    if selected.iter().any(|s| s == "SVG-ONLY") {
+        return;
+    }
+    for (id, title, run) in experiments {
+        if !want(id) {
+            continue;
+        }
+        println!("\n=== {id}: {title} ===");
+        let rows = run();
+        print!("{}", render_table(&rows));
+        if let Some(dir) = &csv_dir {
+            std::fs::create_dir_all(dir).expect("create csv dir");
+            let path = dir.join(format!("{}.csv", id.to_lowercase()));
+            write_csv(&path, &rows).expect("write csv");
+            println!("(wrote {})", path.display());
+        }
+    }
+}

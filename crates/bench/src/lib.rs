@@ -1,0 +1,12 @@
+//! Shared harness for the experiment suite: experiment records, CSV
+//! export, a parallel sweep runner, and the per-figure data generators
+//! used by both the `figures` binary and the Criterion benches.
+
+// Node ids double as indices throughout this workspace; indexed loops
+// over `0..n` mirror the paper's notation and often touch several arrays.
+#![allow(clippy::needless_range_loop)]
+
+pub mod experiments;
+pub mod record;
+pub mod stats;
+pub mod sweep;

@@ -1,0 +1,150 @@
+//! Small statistics helpers for multi-seed experiment aggregation.
+
+/// Summary statistics of a sample.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n < 2).
+    pub std: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample size.
+    pub n: usize,
+}
+
+/// Summarizes a sample; panics on empty input.
+pub fn summarize(xs: &[f64]) -> Summary {
+    assert!(!xs.is_empty(), "cannot summarize an empty sample");
+    let n = xs.len();
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    let var = if n < 2 {
+        0.0
+    } else {
+        xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / (n - 1) as f64
+    };
+    let min = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    Summary {
+        mean,
+        std: var.sqrt(),
+        min,
+        max,
+        n,
+    }
+}
+
+/// Pearson correlation coefficient of two equal-length samples;
+/// `None` when either sample is constant or shorter than 2.
+pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    assert_eq!(xs.len(), ys.len());
+    let n = xs.len();
+    if n < 2 {
+        return None;
+    }
+    let mx = xs.iter().sum::<f64>() / n as f64;
+    let my = ys.iter().sum::<f64>() / n as f64;
+    let mut sxx = 0.0;
+    let mut syy = 0.0;
+    let mut sxy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+        sxy += (x - mx) * (y - my);
+    }
+    if sxx == 0.0 || syy == 0.0 {
+        return None;
+    }
+    Some(sxy / (sxx * syy).sqrt())
+}
+
+/// Averages structurally identical row sets (same experiments, params and
+/// column names in the same order) produced under different seeds.
+///
+/// Returns the element-wise mean rows; panics on structural mismatch.
+pub fn mean_rows(runs: &[Vec<crate::record::Row>]) -> Vec<crate::record::Row> {
+    assert!(!runs.is_empty());
+    let template = &runs[0];
+    for run in runs {
+        assert_eq!(run.len(), template.len(), "row count mismatch across seeds");
+    }
+    template
+        .iter()
+        .enumerate()
+        .map(|(i, t)| {
+            let mut row = crate::record::Row::new(t.experiment, t.param, t.value);
+            for (c, &(name, _)) in t.columns.iter().enumerate() {
+                let samples: Vec<f64> = runs
+                    .iter()
+                    .map(|run| {
+                        let r = &run[i];
+                        assert_eq!(r.columns[c].0, name, "column mismatch across seeds");
+                        r.columns[c].1
+                    })
+                    .collect();
+                row = row.col(name, summarize(&samples).mean);
+            }
+            row
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::Row;
+
+    #[test]
+    fn summary_of_constant_sample() {
+        let s = summarize(&[2.0, 2.0, 2.0]);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.min, 2.0);
+        assert_eq!(s.max, 2.0);
+        assert_eq!(s.n, 3);
+    }
+
+    #[test]
+    fn summary_known_values() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+    }
+
+    #[test]
+    fn singleton_has_zero_std() {
+        let s = summarize(&[7.0]);
+        assert_eq!(s.std, 0.0);
+        assert_eq!(s.n, 1);
+    }
+
+    #[test]
+    fn pearson_known_cases() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert!((pearson(&xs, &[2.0, 4.0, 6.0, 8.0]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((pearson(&xs, &[8.0, 6.0, 4.0, 2.0]).unwrap() + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&xs, &[5.0, 5.0, 5.0, 5.0]), None);
+        assert_eq!(pearson(&[1.0], &[1.0]), None);
+    }
+
+    #[test]
+    fn mean_rows_averages_columns() {
+        let a = vec![Row::new("X", "n", 1.0).col("y", 2.0)];
+        let b = vec![Row::new("X", "n", 1.0).col("y", 4.0)];
+        let m = mean_rows(&[a, b]);
+        assert_eq!(m[0].get("y"), Some(3.0));
+        assert_eq!(m[0].value, 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn structural_mismatch_panics() {
+        let a = vec![Row::new("X", "n", 1.0).col("y", 2.0)];
+        let b = vec![Row::new("X", "n", 1.0).col("z", 4.0)];
+        mean_rows(&[a, b]);
+    }
+}

@@ -1,0 +1,84 @@
+//! A small parallel sweep runner.
+//!
+//! Experiment sweeps are embarrassingly parallel over their parameter
+//! points; this fans them out over scoped threads (no unbounded thread
+//! creation: at most one thread per logical CPU) and returns results in
+//! input order.
+
+use parking_lot::Mutex;
+
+/// Applies `f` to every item of `params` in parallel, preserving order.
+///
+/// `f` must be `Sync` (it is shared across threads) and the items are
+/// consumed by value. Panics in workers propagate.
+pub fn parallel_map<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let n = params.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(n);
+    if threads <= 1 {
+        return params.into_iter().map(f).collect();
+    }
+
+    let work: Mutex<std::vec::IntoIter<(usize, P)>> =
+        Mutex::new(params.into_iter().enumerate().collect::<Vec<_>>().into_iter());
+    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let item = work.lock().next();
+                match item {
+                    Some((i, p)) => {
+                        let r = f(p);
+                        results.lock()[i] = Some(r);
+                    }
+                    None => break,
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("worker failed to produce a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order() {
+        let out = parallel_map((0..100).collect(), |i: i32| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_item() {
+        assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn heavier_work_is_correct() {
+        let out = parallel_map((1..=16u64).collect(), |n| (1..=n).sum::<u64>());
+        assert_eq!(out[15], 136);
+    }
+}

@@ -1,0 +1,273 @@
+//! The CLI subcommands.
+
+use crate::args::{Args, UsageError};
+use rim_core::analysis::InterferenceSummary;
+use rim_core::optimal::{min_interference_topology, SolverLimits};
+use rim_core::receiver::graph_interference;
+use rim_core::sender::sender_graph_interference;
+use rim_highway::HighwayInstance;
+use rim_sim::{MacConfig, SimConfig, Simulator, TrafficConfig};
+use rim_topology_control::Baseline;
+use rim_udg::io;
+use rim_udg::udg::unit_disk_graph;
+use rim_udg::{NodeSet, Topology};
+
+/// Full usage text for `rim help`.
+pub const HELP: &str = "\
+rim — receiver-centric interference model toolkit
+
+commands:
+  generate  --kind uniform-square|uniform-highway|clusters|grid|exp-chain|fig1
+            [--n N] [--side S] [--span S] [--seed K] [--out FILE]
+  control   --algo nnf|mst|gg|rng|yao6|xtc|life|lmst|cbtc|kneigh9|rdg|
+                   linear|a-exp|a-gen|a-apx|a-gen2
+            --nodes FILE [--out FILE]
+  analyze   --nodes FILE --topology FILE
+  optimal   --nodes FILE [--max-steps N]   (exact solver; n <= 12)
+  simulate  --nodes FILE --topology FILE [--slots N] [--mac csma|aloha]
+            [--flows N] [--period N] [--seed K]
+  schedule  --nodes FILE --topology FILE   (conflict-free TDMA frame)
+  render    --nodes FILE --topology FILE [--out FILE.svg]
+            [--disks true|false] [--labels true|false] [--arcs true|false]
+  help
+
+files: nodes = `x y` per line; topology = `u v` node-index pairs.";
+
+fn read(path: &str) -> Result<String, UsageError> {
+    std::fs::read_to_string(path).map_err(|e| UsageError(format!("cannot read {path}: {e}")))
+}
+
+fn write_out(out: &str, content: &str) -> Result<(), UsageError> {
+    if out == "-" {
+        print!("{content}");
+        Ok(())
+    } else {
+        std::fs::write(out, content).map_err(|e| UsageError(format!("cannot write {out}: {e}")))
+    }
+}
+
+fn load_nodes(args: &Args) -> Result<NodeSet, UsageError> {
+    let path = args.required("nodes")?;
+    io::parse_nodes(&read(&path)?).map_err(|e| UsageError(format!("{path}: {e}")))
+}
+
+fn load_topology(args: &Args, nodes: &NodeSet) -> Result<Topology, UsageError> {
+    let path = args.required("topology")?;
+    io::parse_topology(&read(&path)?, nodes).map_err(|e| UsageError(format!("{path}: {e}")))
+}
+
+/// `rim generate` — workload generators to a nodes file.
+pub fn generate(args: &Args) -> Result<(), UsageError> {
+    let kind = args.required("kind")?;
+    let n: usize = args.opt_parse("n", 100)?;
+    let seed: u64 = args.opt_parse("seed", 0)?;
+    let nodes = match kind.as_str() {
+        "uniform-square" => {
+            let side: f64 = args.opt_parse("side", 2.0)?;
+            rim_workloads::uniform_square(n, side, seed)
+        }
+        "uniform-highway" => {
+            let span: f64 = args.opt_parse("span", 4.0)?;
+            rim_workloads::uniform_highway(n, span, seed).node_set()
+        }
+        "clusters" => {
+            let side: f64 = args.opt_parse("side", 3.0)?;
+            let k = (n / 25).max(1);
+            rim_workloads::gaussian_clusters(k, n / k, side, 0.2, seed)
+        }
+        "grid" => {
+            let side = (n as f64).sqrt().ceil() as usize;
+            rim_workloads::grid_lattice(side, side, 0.5, 0.05, seed)
+        }
+        "exp-chain" => rim_highway::exponential_chain(n).node_set(),
+        "fig1" => rim_workloads::fig1_instance(n.max(3), 0.1, seed).1,
+        other => return Err(UsageError(format!("unknown --kind {other}"))),
+    };
+    let out = args.opt("out", "-");
+    args.finish()?;
+    write_out(&out, &io::format_nodes(&nodes))
+}
+
+/// `rim control` — run a topology-control algorithm.
+pub fn control(args: &Args) -> Result<(), UsageError> {
+    let algo = args.required("algo")?;
+    let nodes = load_nodes(args)?;
+    let udg = unit_disk_graph(&nodes);
+    let highway = || -> Result<HighwayInstance, UsageError> {
+        if !nodes.is_highway() {
+            return Err(UsageError(format!(
+                "--algo {algo} requires a highway (1-D) instance"
+            )));
+        }
+        Ok(HighwayInstance::new(
+            nodes.points().iter().map(|p| p.x).collect(),
+        ))
+    };
+    let topology = match algo.as_str() {
+        "nnf" => Baseline::Nnf.build(&nodes, &udg),
+        "mst" => Baseline::Emst.build(&nodes, &udg),
+        "gg" => Baseline::Gabriel.build(&nodes, &udg),
+        "rng" => Baseline::Rng.build(&nodes, &udg),
+        "yao6" => Baseline::Yao6.build(&nodes, &udg),
+        "xtc" => Baseline::Xtc.build(&nodes, &udg),
+        "life" => Baseline::Life.build(&nodes, &udg),
+        "lmst" => Baseline::Lmst.build(&nodes, &udg),
+        "cbtc" => Baseline::Cbtc.build(&nodes, &udg),
+        "kneigh9" => Baseline::Kneigh9.build(&nodes, &udg),
+        "rdg" => Baseline::Rdg.build(&nodes, &udg),
+        "linear" => highway()?.linear_topology(),
+        "a-exp" => rim_highway::a_exp(&highway()?).topology,
+        "a-gen" => rim_highway::a_gen(&highway()?).topology,
+        "a-apx" => rim_highway::a_apx(&highway()?).topology,
+        "a-gen2" => rim_highway::plane::a_gen_2d(&nodes).topology,
+        other => return Err(UsageError(format!("unknown --algo {other}"))),
+    };
+    let out = args.opt("out", "-");
+    args.finish()?;
+    // Note on the generated file whether the mandatory requirement holds.
+    let mut content = io::format_topology(&topology);
+    content.push_str(&format!(
+        "# algo = {algo}, edges = {}, preserves connectivity = {}\n",
+        topology.num_edges(),
+        topology.preserves_connectivity_of(&udg)
+    ));
+    write_out(&out, &content)
+}
+
+/// `rim analyze` — interference report for a topology.
+pub fn analyze(args: &Args) -> Result<(), UsageError> {
+    let nodes = load_nodes(args)?;
+    let topology = load_topology(args, &nodes)?;
+    args.finish()?;
+    let udg = unit_disk_graph(&nodes);
+    let summary = InterferenceSummary::of(&topology);
+    println!("nodes:                    {}", nodes.len());
+    println!("udg edges / max degree:   {} / {}", udg.num_edges(), udg.max_degree());
+    println!("topology edges:           {}", topology.num_edges());
+    println!("is forest:                {}", topology.is_forest());
+    println!(
+        "preserves connectivity:   {}",
+        topology.preserves_connectivity_of(&udg)
+    );
+    println!("receiver interference I:  {}", summary.max);
+    println!("mean node interference:   {:.3}", summary.mean);
+    println!(
+        "sender-centric measure:   {}",
+        sender_graph_interference(&topology)
+    );
+    println!("energy (alpha = 2):       {:.4}", topology.energy(2.0));
+    if let Some(v) = summary.argmax() {
+        println!("worst node:               {v} (I = {})", summary.per_node[v]);
+    }
+    Ok(())
+}
+
+/// `rim optimal` — exact minimum-interference topology.
+pub fn optimal(args: &Args) -> Result<(), UsageError> {
+    let nodes = load_nodes(args)?;
+    let max_steps: u64 = args.opt_parse("max-steps", SolverLimits::default().max_steps)?;
+    args.finish()?;
+    if nodes.len() > 12 {
+        return Err(UsageError(format!(
+            "exact solver handles at most 12 nodes, got {}",
+            nodes.len()
+        )));
+    }
+    let result = min_interference_topology(
+        &nodes,
+        1.0,
+        SolverLimits {
+            max_nodes: 12,
+            max_steps,
+        },
+    );
+    println!(
+        "optimum I = {} ({}, {} search steps)",
+        result.interference,
+        if result.optimal { "proved optimal" } else { "budget exhausted — best found" },
+        result.steps
+    );
+    print!("{}", io::format_topology(&result.topology));
+    Ok(())
+}
+
+/// `rim simulate` — MAC simulation over a topology.
+pub fn simulate(args: &Args) -> Result<(), UsageError> {
+    let nodes = load_nodes(args)?;
+    let topology = load_topology(args, &nodes)?;
+    let slots: u64 = args.opt_parse("slots", 20_000)?;
+    let flows: usize = args.opt_parse("flows", 8)?;
+    let period: u64 = args.opt_parse("period", 40)?;
+    let seed: u64 = args.opt_parse("seed", 0)?;
+    let mac = match args.opt("mac", "csma").as_str() {
+        "csma" => MacConfig::csma(),
+        "aloha" => MacConfig::aloha(),
+        other => return Err(UsageError(format!("unknown --mac {other}"))),
+    };
+    args.finish()?;
+    let cfg = SimConfig {
+        slots,
+        mac,
+        traffic: TrafficConfig::Cbr { flows, period },
+        alpha: 2.0,
+        seed,
+    };
+    let m = Simulator::new(topology, cfg).run();
+    println!("generated:              {}", m.generated);
+    println!("delivered:              {}", m.delivered);
+    println!("delivery ratio:         {:.4}", m.delivery_ratio());
+    println!("collision rate:         {:.4}", m.collision_rate());
+    println!("tx per delivered pkt:   {:.2}", m.transmissions_per_delivery());
+    println!("energy per delivered:   {:.5}", m.energy_per_delivery());
+    println!("mean delay (slots):     {:.1}", m.mean_delay());
+    println!("drops (no route/retry): {} / {}", m.dropped_no_route, m.dropped_retries);
+    Ok(())
+}
+
+/// `rim schedule` — conflict-free TDMA frame for a topology.
+pub fn schedule(args: &Args) -> Result<(), UsageError> {
+    let nodes = load_nodes(args)?;
+    let topology = load_topology(args, &nodes)?;
+    args.finish()?;
+    let s = rim_sim::tdma_schedule(&topology);
+    assert_eq!(s.verify(&topology), None, "internal error: invalid schedule");
+    println!(
+        "I = {}, directed links = {}, frame length = {} slots",
+        graph_interference(&topology),
+        s.num_links(),
+        s.frame_length()
+    );
+    for (i, slot) in s.slots.iter().enumerate() {
+        let links: Vec<String> = slot.iter().map(|(u, v)| format!("{u}->{v}")).collect();
+        println!("slot {i:>3}: {}", links.join(" "));
+    }
+    Ok(())
+}
+
+/// `rim render` — SVG picture of a topology.
+pub fn render(args: &Args) -> Result<(), UsageError> {
+    let nodes = load_nodes(args)?;
+    let topology = load_topology(args, &nodes)?;
+    let disks: bool = args.opt_parse("disks", false)?;
+    let labels: bool = args.opt_parse("labels", true)?;
+    let arcs: bool = args.opt_parse("arcs", false)?;
+    let out = args.opt("out", "-");
+    args.finish()?;
+    let svg = if arcs {
+        if !nodes.is_highway() {
+            return Err(UsageError("--arcs true requires a highway instance".into()));
+        }
+        let h = HighwayInstance::new(nodes.points().iter().map(|p| p.x).collect());
+        rim_viz::render_highway_arcs(&h, &topology, true)
+    } else {
+        rim_viz::render_topology(
+            &topology,
+            rim_viz::RenderOptions {
+                show_disks: disks,
+                show_interference: labels,
+                ..rim_viz::RenderOptions::default()
+            },
+        )
+    };
+    write_out(&out, &svg)
+}

@@ -1,0 +1,46 @@
+//! `rim` — command-line front end for the interference-model workspace.
+//!
+//! ```text
+//! rim generate --kind uniform-square --n 100 --side 2 --seed 7 --out nodes.txt
+//! rim generate --kind exp-chain --n 64 --out chain.txt
+//! rim control  --algo mst --nodes nodes.txt --out topo.txt
+//! rim analyze  --nodes nodes.txt --topology topo.txt
+//! rim optimal  --nodes small.txt
+//! rim simulate --nodes nodes.txt --topology topo.txt --slots 20000 --mac csma
+//! rim schedule --nodes nodes.txt --topology topo.txt
+//! rim render   --nodes nodes.txt --topology topo.txt --out picture.svg
+//! ```
+//!
+//! Run `rim help` for the full flag reference.
+
+mod args;
+mod commands;
+
+use args::{Args, UsageError};
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let result = Args::parse(raw).and_then(run);
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        eprintln!("run `rim help` for usage");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: Args) -> Result<(), UsageError> {
+    match args.command() {
+        "generate" => commands::generate(&args),
+        "control" => commands::control(&args),
+        "analyze" => commands::analyze(&args),
+        "optimal" => commands::optimal(&args),
+        "simulate" => commands::simulate(&args),
+        "schedule" => commands::schedule(&args),
+        "render" => commands::render(&args),
+        "help" => {
+            println!("{}", commands::HELP);
+            Ok(())
+        }
+        other => Err(UsageError(format!("unknown command `{other}`"))),
+    }
+}

@@ -1,0 +1,216 @@
+//! End-to-end tests driving the `rim` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn rim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rim"))
+}
+
+fn tmp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rim_cli_{name}_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn help_lists_all_commands() {
+    let out = rim().arg("help").output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    for cmd in ["generate", "control", "analyze", "optimal", "simulate", "schedule"] {
+        assert!(text.contains(cmd), "help missing {cmd}");
+    }
+}
+
+#[test]
+fn unknown_command_fails_with_usage_hint() {
+    let out = rim().arg("frobnicate").output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).unwrap();
+    assert!(err.contains("unknown command"));
+}
+
+#[test]
+fn generate_control_analyze_pipeline() {
+    let dir = tmp_dir("pipeline");
+    let nodes = dir.join("nodes.txt");
+    let topo = dir.join("topo.txt");
+
+    let out = rim()
+        .args([
+            "generate", "--kind", "uniform-square", "--n", "40", "--side", "1.5", "--seed",
+            "7", "--out",
+        ])
+        .arg(&nodes)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = rim()
+        .args(["control", "--algo", "mst", "--nodes"])
+        .arg(&nodes)
+        .arg("--out")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let topo_text = std::fs::read_to_string(&topo).unwrap();
+    assert!(topo_text.contains("preserves connectivity = true"));
+
+    let out = rim()
+        .args(["analyze", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("receiver interference"));
+    assert!(text.contains("preserves connectivity:   true"));
+}
+
+#[test]
+fn highway_algorithms_require_1d_instances() {
+    let dir = tmp_dir("highway_guard");
+    let nodes = dir.join("nodes2d.txt");
+    std::fs::write(&nodes, "0.0 0.1\n0.5 0.2\n").unwrap();
+    let out = rim()
+        .args(["control", "--algo", "a-exp", "--nodes"])
+        .arg(&nodes)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("highway"));
+}
+
+#[test]
+fn exp_chain_end_to_end_with_a_apx_and_schedule() {
+    let dir = tmp_dir("chain");
+    let nodes = dir.join("chain.txt");
+    let topo = dir.join("apx.txt");
+    assert!(rim()
+        .args(["generate", "--kind", "exp-chain", "--n", "24", "--out"])
+        .arg(&nodes)
+        .status()
+        .unwrap()
+        .success());
+    assert!(rim()
+        .args(["control", "--algo", "a-apx", "--nodes"])
+        .arg(&nodes)
+        .arg("--out")
+        .arg(&topo)
+        .status()
+        .unwrap()
+        .success());
+    let out = rim()
+        .args(["schedule", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("frame length"));
+}
+
+#[test]
+fn optimal_solves_small_instances() {
+    let dir = tmp_dir("optimal");
+    let nodes = dir.join("five.txt");
+    std::fs::write(&nodes, "0.0\n0.2\n0.45\n0.7\n1.0\n").unwrap();
+    let out = rim().args(["optimal", "--nodes"]).arg(&nodes).output().unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("proved optimal"), "{text}");
+}
+
+#[test]
+fn optimal_rejects_large_instances() {
+    let dir = tmp_dir("optimal_large");
+    let nodes = dir.join("many.txt");
+    let mut content = String::new();
+    for i in 0..20 {
+        content.push_str(&format!("{}\n", i as f64 * 0.05));
+    }
+    std::fs::write(&nodes, content).unwrap();
+    let out = rim().args(["optimal", "--nodes"]).arg(&nodes).output().unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("at most 12"));
+}
+
+#[test]
+fn simulate_reports_metrics() {
+    let dir = tmp_dir("simulate");
+    let nodes = dir.join("nodes.txt");
+    let topo = dir.join("topo.txt");
+    std::fs::write(&nodes, "0.0\n0.4\n0.8\n1.2\n").unwrap();
+    std::fs::write(&topo, "0 1\n1 2\n2 3\n").unwrap();
+    let out = rim()
+        .args(["simulate", "--slots", "3000", "--mac", "csma", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("delivery ratio"));
+}
+
+#[test]
+fn render_produces_svg() {
+    let dir = tmp_dir("render");
+    let nodes = dir.join("nodes.txt");
+    let topo = dir.join("topo.txt");
+    std::fs::write(&nodes, "0.0\n0.4\n0.8\n").unwrap();
+    std::fs::write(&topo, "0 1\n1 2\n").unwrap();
+    let out = rim()
+        .args(["render", "--disks", "true", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let svg = String::from_utf8(out.stdout).unwrap();
+    assert!(svg.starts_with("<svg"));
+    assert!(svg.contains("stroke-dasharray"), "disks requested");
+
+    // Arc mode for highway instances.
+    let out = rim()
+        .args(["render", "--arcs", "true", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    assert!(String::from_utf8(out.stdout).unwrap().contains("<path"));
+}
+
+#[test]
+fn malformed_files_give_line_errors() {
+    let dir = tmp_dir("badfile");
+    let nodes = dir.join("bad.txt");
+    std::fs::write(&nodes, "0.0\nnot-a-number\n").unwrap();
+    let out = rim()
+        .args(["control", "--algo", "mst", "--nodes"])
+        .arg(&nodes)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("line 2"));
+}
+
+#[test]
+fn unknown_flags_are_rejected() {
+    let out = rim()
+        .args(["generate", "--kind", "exp-chain", "--n", "8", "--bogus", "1"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
+}

@@ -1,0 +1,245 @@
+//! Incrementally maintained interference under link insertions/removals.
+//!
+//! Topology-control algorithms (and dynamic networks) repeatedly tweak an
+//! edge set and re-ask for `I(G')`. Recomputing from scratch is `O(n²)`
+//! per query; [`DynamicInterference`] maintains the per-node coverage
+//! counts across updates:
+//!
+//! * a node covers `v` iff it has at least one neighbor and
+//!   `|uv| <= r_u` — the same rule as the batch kernels;
+//! * an edge update changes at most the two endpoints' radii (and whether
+//!   they transmit at all), so only their coverage needs patching.
+//!
+//! Each update costs `O(n)` in the worst case (rescanning per endpoint) but
+//! touches only the affected nodes; the query is `O(1)` per node. The
+//! equivalence with the batch [`crate::receiver`] kernels is
+//! property-tested.
+
+use rim_graph::AdjacencyList;
+use rim_udg::{NodeSet, Topology};
+
+/// Interference counts maintained across edge updates.
+#[derive(Debug, Clone)]
+pub struct DynamicInterference {
+    nodes: NodeSet,
+    graph: AdjacencyList,
+    radii: Vec<f64>,
+    cov: Vec<u32>,
+    /// Whether each node was transmitting (degree > 0) at the last
+    /// coverage update — needed to patch coverage when a node's degree
+    /// crosses zero without its radius changing (zero-length links).
+    graph_deg_snapshot: Vec<bool>,
+}
+
+impl DynamicInterference {
+    /// Starts from the empty topology over `nodes`.
+    pub fn new(nodes: NodeSet) -> Self {
+        let n = nodes.len();
+        DynamicInterference {
+            nodes,
+            graph: AdjacencyList::new(n),
+            radii: vec![0.0; n],
+            cov: vec![0; n],
+            graph_deg_snapshot: vec![false; n],
+        }
+    }
+
+    /// Starts from an existing topology.
+    pub fn from_topology(t: &Topology) -> Self {
+        let mut d = DynamicInterference::new(t.nodes().clone());
+        for e in t.edges() {
+            d.insert_edge(e.u, e.v);
+        }
+        d
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Returns `true` for the empty node set.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Current interference of `v`.
+    pub fn interference_at(&self, v: usize) -> usize {
+        self.cov[v] as usize
+    }
+
+    /// Current graph interference `I(G')`.
+    pub fn graph_interference(&self) -> usize {
+        self.cov.iter().copied().max().unwrap_or(0) as usize
+    }
+
+    /// Current radius of `u`.
+    pub fn radius(&self, u: usize) -> f64 {
+        self.radii[u]
+    }
+
+    /// The maintained edge structure.
+    pub fn graph(&self) -> &AdjacencyList {
+        &self.graph
+    }
+
+    /// Materializes the current state as a [`Topology`].
+    pub fn as_topology(&self) -> Topology {
+        Topology::from_graph(self.nodes.clone(), self.graph.clone())
+    }
+
+    /// Inserts `{u, v}`; returns `false` if the edge already existed.
+    pub fn insert_edge(&mut self, u: usize, v: usize) -> bool {
+        let d = self.nodes.dist(u, v);
+        if !self.graph.add_edge(u, v, d) {
+            return false;
+        }
+        self.set_radius(u, self.radii[u].max(d));
+        self.set_radius(v, self.radii[v].max(d));
+        true
+    }
+
+    /// Removes `{u, v}`; returns `false` if the edge was absent.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        if !self.graph.remove_edge(u, v) {
+            return false;
+        }
+        let ru = self.graph.max_incident_weight(u).unwrap_or(0.0);
+        let rv = self.graph.max_incident_weight(v).unwrap_or(0.0);
+        self.set_radius(u, ru);
+        self.set_radius(v, rv);
+        true
+    }
+
+    /// Adjusts `u`'s radius and patches the coverage counts.
+    ///
+    /// Coverage is `deg(u) > 0 && d <= r_u` (a node transmits iff it has a
+    /// neighbor — matching the batch kernels, including the coincident-node
+    /// case where a zero-length link gives `r_u = 0` but still covers its
+    /// endpoint). Comparing covered-before vs covered-after per node is
+    /// immune to boundary subtleties at `d = 0`.
+    fn set_radius(&mut self, u: usize, new_r: f64) {
+        let old_r = self.radii[u];
+        let was_tx = self.graph_deg_snapshot[u];
+        let is_tx = self.graph.degree(u) > 0;
+        self.graph_deg_snapshot[u] = is_tx;
+        if new_r == old_r && was_tx == is_tx {
+            return;
+        }
+        self.radii[u] = new_r;
+        let pu = self.nodes.pos(u);
+        for w in 0..self.nodes.len() {
+            if w == u {
+                continue;
+            }
+            let d = pu.dist(&self.nodes.pos(w));
+            let before = was_tx && d <= old_r;
+            let after = is_tx && d <= new_r;
+            match (before, after) {
+                (false, true) => self.cov[w] += 1,
+                (true, false) => self.cov[w] -= 1,
+                _ => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::interference_vector;
+    use rim_geom::Point;
+
+    fn check_consistent(d: &DynamicInterference) {
+        let t = d.as_topology();
+        let want = interference_vector(&t);
+        let got: Vec<usize> = (0..d.len()).map(|v| d.interference_at(v)).collect();
+        assert_eq!(got, want, "dynamic counts diverged from batch kernel");
+    }
+
+    #[test]
+    fn insert_then_remove_roundtrips() {
+        let ns = NodeSet::on_line(&[0.0, 0.2, 0.5, 0.9]);
+        let mut d = DynamicInterference::new(ns);
+        assert!(d.insert_edge(0, 1));
+        check_consistent(&d);
+        assert!(d.insert_edge(1, 3));
+        check_consistent(&d);
+        assert!(d.insert_edge(2, 3));
+        check_consistent(&d);
+        assert!(!d.insert_edge(0, 1), "duplicate");
+        assert!(d.remove_edge(1, 3));
+        check_consistent(&d);
+        assert!(!d.remove_edge(1, 3), "already gone");
+        assert!(d.remove_edge(0, 1));
+        assert!(d.remove_edge(2, 3));
+        check_consistent(&d);
+        assert_eq!(d.graph_interference(), 0);
+    }
+
+    #[test]
+    fn matches_from_topology_constructor() {
+        let ns = NodeSet::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.4, 0.3),
+            Point::new(0.9, 0.1),
+            Point::new(0.5, 0.8),
+        ]);
+        let t = Topology::from_pairs(ns, &[(0, 1), (1, 2), (1, 3)]);
+        let d = DynamicInterference::from_topology(&t);
+        check_consistent(&d);
+        assert_eq!(d.graph_interference(), crate::receiver::graph_interference(&t));
+    }
+
+    #[test]
+    fn random_update_sequences_stay_consistent() {
+        let mut state = 5u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let n = 9;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new((i % 3) as f64 * 0.4 + (rnd() % 100) as f64 * 0.001, (i / 3) as f64 * 0.4))
+            .collect();
+        let mut d = DynamicInterference::new(NodeSet::new(pts));
+        for step in 0..200 {
+            let (a, b) = (rnd() % n, rnd() % n);
+            if a == b {
+                continue;
+            }
+            if d.graph().has_edge(a, b) {
+                d.remove_edge(a, b);
+            } else {
+                d.insert_edge(a, b);
+            }
+            if step % 10 == 0 {
+                check_consistent(&d);
+            }
+        }
+        check_consistent(&d);
+    }
+
+    #[test]
+    fn coincident_nodes_stay_consistent() {
+        // Zero-length links: radius stays 0 but the endpoints transmit.
+        let ns = NodeSet::new(vec![Point::ORIGIN, Point::ORIGIN, Point::new(0.5, 0.0)]);
+        let mut d = DynamicInterference::new(ns);
+        assert!(d.insert_edge(0, 1));
+        check_consistent(&d); // 0 and 1 cover each other at d = 0
+        assert!(d.insert_edge(0, 2));
+        check_consistent(&d);
+        assert!(d.remove_edge(0, 2)); // radius shrinks back to 0, still transmitting
+        check_consistent(&d);
+        assert!(d.remove_edge(0, 1)); // now silent again
+        check_consistent(&d);
+        assert_eq!(d.graph_interference(), 0);
+    }
+
+    #[test]
+    fn empty_structure() {
+        let d = DynamicInterference::new(NodeSet::new(vec![]));
+        assert!(d.is_empty());
+        assert_eq!(d.graph_interference(), 0);
+    }
+}

@@ -1,0 +1,255 @@
+//! Data-gathering trees — the setting the interference model came from.
+//!
+//! The receiver-centric measure was first formulated for *data
+//! gathering* in sensor networks (Fussen, Wattenhofer, Zollinger —
+//! reference \[4\] of the paper): all nodes report to a sink over a
+//! **directed** tree, each node transmitting only as far as its parent.
+//! The paper then generalizes to undirected topologies; this module
+//! keeps the directed origin available:
+//!
+//! * a node's radius is the distance to its **parent** (not its farthest
+//!   tree neighbor), so directed interference is never larger than the
+//!   undirected interference of the same tree;
+//! * the sink transmits nothing (radius 0).
+
+use rim_graph::shortest_path::dijkstra;
+use rim_graph::mst::kruskal;
+use rim_graph::AdjacencyList;
+use rim_udg::{NodeSet, Topology};
+
+/// A directed gathering tree: every node except the sink has a parent on
+/// the way towards the sink.
+#[derive(Debug, Clone)]
+pub struct GatheringTree {
+    nodes: NodeSet,
+    /// `parent[v]`; `usize::MAX` for the sink and for nodes disconnected
+    /// from it.
+    parent: Vec<usize>,
+    sink: usize,
+}
+
+impl GatheringTree {
+    /// Builds a tree from explicit parent pointers. Panics if the
+    /// pointers contain a cycle or point outside the node set.
+    pub fn new(nodes: NodeSet, parent: Vec<usize>, sink: usize) -> Self {
+        assert_eq!(nodes.len(), parent.len());
+        assert!(sink < nodes.len());
+        assert_eq!(parent[sink], usize::MAX, "sink must have no parent");
+        // Cycle check: walking up from any node must terminate.
+        for start in 0..nodes.len() {
+            let mut cur = start;
+            let mut steps = 0;
+            while parent[cur] != usize::MAX {
+                cur = parent[cur];
+                assert!(cur < nodes.len(), "parent out of range");
+                steps += 1;
+                assert!(steps <= nodes.len(), "cycle in parent pointers");
+            }
+        }
+        GatheringTree {
+            nodes,
+            parent,
+            sink,
+        }
+    }
+
+    /// Shortest-path (Dijkstra) gathering tree towards `sink`.
+    pub fn shortest_path_tree(nodes: &NodeSet, udg: &AdjacencyList, sink: usize) -> Self {
+        let sp = dijkstra(udg, sink);
+        GatheringTree::new(nodes.clone(), sp.parent, sink)
+    }
+
+    /// Gathering tree obtained by rooting the Euclidean MST at `sink`.
+    pub fn mst_tree(nodes: &NodeSet, udg: &AdjacencyList, sink: usize) -> Self {
+        let forest = kruskal(nodes.len(), &udg.edges());
+        let g = AdjacencyList::from_edges(nodes.len(), &forest);
+        // BFS orientation towards the sink.
+        let mut parent = vec![usize::MAX; nodes.len()];
+        let mut seen = vec![false; nodes.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[sink] = true;
+        queue.push_back(sink);
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if !seen[v] {
+                    seen[v] = true;
+                    parent[v] = u;
+                    queue.push_back(v);
+                }
+            }
+        }
+        GatheringTree::new(nodes.clone(), parent, sink)
+    }
+
+    /// The sink node.
+    pub fn sink(&self) -> usize {
+        self.sink
+    }
+
+    /// Parent of `v` (`usize::MAX` for the sink / unreachable nodes).
+    pub fn parent(&self, v: usize) -> usize {
+        self.parent[v]
+    }
+
+    /// The node positions.
+    pub fn nodes(&self) -> &NodeSet {
+        &self.nodes
+    }
+
+    /// Directed transmission radius of `v`: the distance to its parent
+    /// (0 for the sink and unreachable nodes).
+    pub fn radius(&self, v: usize) -> f64 {
+        match self.parent[v] {
+            usize::MAX => 0.0,
+            p => self.nodes.dist(v, p),
+        }
+    }
+
+    /// Number of nodes that actually reach the sink (including it).
+    pub fn gathered(&self) -> usize {
+        (0..self.nodes.len())
+            .filter(|&v| v == self.sink || self.parent[v] != usize::MAX)
+            .count()
+    }
+
+    /// Hop depth of `v` (0 for the sink; `None` if unreachable).
+    pub fn depth(&self, v: usize) -> Option<usize> {
+        let mut cur = v;
+        let mut d = 0;
+        while cur != self.sink {
+            if self.parent[cur] == usize::MAX {
+                return None;
+            }
+            cur = self.parent[cur];
+            d += 1;
+        }
+        Some(d)
+    }
+
+    /// Directed receiver-centric interference: how many *other* senders'
+    /// parent-directed disks cover `v`.
+    pub fn interference_vector(&self) -> Vec<usize> {
+        let n = self.nodes.len();
+        let mut out = vec![0usize; n];
+        for u in 0..n {
+            if self.parent[u] == usize::MAX {
+                continue; // the sink (and unreachable nodes) transmit nothing
+            }
+            let r = self.radius(u);
+            let pu = self.nodes.pos(u);
+            for (v, iv) in out.iter_mut().enumerate() {
+                if v != u && pu.dist(&self.nodes.pos(v)) <= r {
+                    *iv += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Directed graph interference (maximum over nodes).
+    pub fn interference(&self) -> usize {
+        self.interference_vector().into_iter().max().unwrap_or(0)
+    }
+
+    /// The undirected topology carrying the same tree edges (for
+    /// comparisons with the paper's symmetric model).
+    pub fn as_undirected(&self) -> Topology {
+        let mut pairs = Vec::new();
+        for v in 0..self.nodes.len() {
+            if self.parent[v] != usize::MAX {
+                pairs.push((v, self.parent[v]));
+            }
+        }
+        Topology::from_pairs(self.nodes.clone(), &pairs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::graph_interference;
+    use rim_udg::udg::unit_disk_graph;
+
+    fn line() -> (NodeSet, AdjacencyList) {
+        let ns = NodeSet::on_line(&[0.0, 0.4, 0.8, 1.2, 1.6]);
+        let udg = unit_disk_graph(&ns);
+        (ns, udg)
+    }
+
+    #[test]
+    fn spt_points_towards_the_sink() {
+        let (ns, udg) = line();
+        let t = GatheringTree::shortest_path_tree(&ns, &udg, 0);
+        assert_eq!(t.parent(0), usize::MAX);
+        // On a line distances are additive, so the SPT takes the longest
+        // in-range hop towards the sink: every parent is strictly closer
+        // to (and on the sink side of) the child.
+        for v in 1..5 {
+            let p = t.parent(v);
+            assert!(p < v, "parent of {v} must lie towards the sink");
+            assert!(t.depth(v).unwrap() >= 1);
+        }
+        // Node 2 is in direct range of the sink (0.8 <= 1).
+        assert_eq!(t.parent(2), 0);
+        assert_eq!(t.gathered(), 5);
+    }
+
+    #[test]
+    fn directed_interference_never_exceeds_undirected() {
+        let (ns, udg) = line();
+        for sink in 0..5 {
+            let t = GatheringTree::shortest_path_tree(&ns, &udg, sink);
+            let directed = t.interference();
+            let undirected = graph_interference(&t.as_undirected());
+            assert!(directed <= undirected, "sink={sink}");
+        }
+    }
+
+    #[test]
+    fn mst_tree_follows_consecutive_links() {
+        // The Euclidean MST of a line is the consecutive chain, so the
+        // rooted gathering tree walks hop by hop — unlike the SPT, which
+        // takes the longest in-range hops.
+        let (ns, udg) = line();
+        let t = GatheringTree::mst_tree(&ns, &udg, 2);
+        assert_eq!(t.parent(0), 1);
+        assert_eq!(t.parent(1), 2);
+        assert_eq!(t.parent(2), usize::MAX);
+        assert_eq!(t.parent(3), 2);
+        assert_eq!(t.parent(4), 3);
+        // The MST tree's radii are the link lengths — never longer than
+        // the SPT's long hops, so its interference is no larger here.
+        let spt = GatheringTree::shortest_path_tree(&ns, &udg, 2);
+        assert!(t.interference() <= spt.interference());
+    }
+
+    #[test]
+    fn unreachable_nodes_are_counted_out() {
+        let ns = NodeSet::on_line(&[0.0, 0.4, 5.0]);
+        let udg = unit_disk_graph(&ns);
+        let t = GatheringTree::shortest_path_tree(&ns, &udg, 0);
+        assert_eq!(t.gathered(), 2);
+        assert_eq!(t.depth(2), None);
+        assert_eq!(t.radius(2), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cycles_are_rejected() {
+        let ns = NodeSet::on_line(&[0.0, 0.1, 0.2]);
+        // 1 -> 2 -> 1 cycle.
+        GatheringTree::new(ns, vec![usize::MAX, 2, 1], 0);
+    }
+
+    #[test]
+    fn sink_never_interferes() {
+        let (ns, udg) = line();
+        let t = GatheringTree::shortest_path_tree(&ns, &udg, 2);
+        // The sink has radius 0; removing it from every coverer list.
+        let iv = t.interference_vector();
+        // Node 2 is the sink: its neighbors' interference counts exclude
+        // any contribution from node 2 itself.
+        assert_eq!(t.radius(2), 0.0);
+        assert!(iv.iter().all(|&x| x < ns.len()));
+    }
+}

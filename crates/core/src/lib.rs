@@ -1,0 +1,50 @@
+//! `rim-core` — the paper's primary contribution: a **receiver-centric,
+//! robust interference model** for wireless ad-hoc networks.
+//!
+//! Von Rickenbach, Schmid, Wattenhofer and Zollinger (IPDPS 2005) define
+//! the interference experienced by a node `v` under a topology `G'` as the
+//! number of *other* nodes whose transmission disks cover `v`:
+//!
+//! ```text
+//! I(v) = |{ u ∈ V \ {v} : v ∈ D(u, r_u) }|        (Definition 3.1)
+//! I(G') = max_{v ∈ V} I(v)                        (Definition 3.2)
+//! ```
+//!
+//! where `r_u` is the distance from `u` to its farthest neighbor in `G'`.
+//! Two properties distinguish this measure from the earlier
+//! *sender-centric* link-coverage measure of Burkhart et al. (MobiHoc
+//! 2004), which is also implemented here for comparison:
+//!
+//! 1. it counts interference **where collisions happen** — at receivers;
+//! 2. it is **robust**: adding one node increases any other node's
+//!    interference by at most one ([`robustness`]).
+//!
+//! Module map:
+//!
+//! * [`receiver`] — Definitions 3.1/3.2 (naive and grid-accelerated),
+//! * [`sender`] — the link-coverage measure of \[2\] for comparison,
+//! * [`dynamic`] — incrementally maintained interference under link
+//!   insertions/removals,
+//! * [`gathering`] — directed data-gathering trees, the sensor-network
+//!   setting the model originated in (reference \[4\]),
+//! * [`robustness`] — add/remove-node interference deltas (Figure 1),
+//! * [`optimal`] — exact minimum-interference connected topologies by
+//!   branch-and-bound over radius assignments,
+//! * [`analysis`] — interference summaries used by the experiments.
+
+// Node ids double as indices throughout this workspace; indexed loops
+// over `0..n` mirror the paper's notation and often touch several arrays.
+#![allow(clippy::needless_range_loop)]
+
+pub mod analysis;
+pub mod dynamic;
+pub mod gathering;
+pub mod optimal;
+pub mod receiver;
+pub mod robustness;
+pub mod sender;
+
+pub use analysis::InterferenceSummary;
+pub use optimal::{min_interference_topology, OptimalResult, SolverLimits};
+pub use receiver::{graph_interference, interference_at, interference_vector};
+pub use sender::{edge_coverage, sender_graph_interference};

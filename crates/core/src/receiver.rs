@@ -1,0 +1,225 @@
+//! The receiver-centric interference measure (Definitions 3.1 and 3.2).
+
+use rim_geom::UniformGrid;
+use rim_udg::Topology;
+
+/// Interference experienced by node `v` (Definition 3.1): the number of
+/// *other* nodes `u` whose disk `D(u, r_u)` covers `v`. Self-interference
+/// is excluded, as in the paper.
+///
+/// Runs in `O(n)`; use [`interference_vector`] when all nodes are needed.
+pub fn interference_at(t: &Topology, v: usize) -> usize {
+    let nodes = t.nodes();
+    let pv = nodes.pos(v);
+    let mut count = 0;
+    for u in 0..nodes.len() {
+        // A node transmits iff it has at least one neighbor; its radius
+        // alone cannot decide that (a zero-length link between coincident
+        // nodes has r = 0 yet carries traffic).
+        if u == v || t.graph().degree(u) == 0 {
+            continue;
+        }
+        // Distance-level comparison: r_u is itself a dist() result, so the
+        // farthest neighbor compares equal (squaring would break that).
+        if nodes.pos(u).dist(&pv) <= t.radius(u) {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Per-node interference of the whole topology, reference `O(n²)`
+/// implementation: `out[v] = I(v)`.
+pub fn interference_vector_naive(t: &Topology) -> Vec<usize> {
+    let n = t.num_nodes();
+    let nodes = t.nodes();
+    let mut out = vec![0usize; n];
+    for u in 0..n {
+        if t.graph().degree(u) == 0 {
+            continue; // isolated nodes transmit nothing
+        }
+        let r = t.radius(u);
+        let pu = nodes.pos(u);
+        for (v, iv) in out.iter_mut().enumerate() {
+            if v != u && pu.dist(&nodes.pos(v)) <= r {
+                *iv += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Per-node interference, grid-accelerated.
+///
+/// For every sender `u` a disk range query of radius `r_u` collects the
+/// covered nodes; expected time `O(n + Σ_u I-contribution(u))` for bounded
+/// densities. Produces exactly the same counts as
+/// [`interference_vector_naive`] (the range query uses the same closed
+/// predicate on squared distances) — a property-tested invariant.
+pub fn interference_vector(t: &Topology) -> Vec<usize> {
+    let n = t.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let nodes = t.nodes();
+    // Cell size: the median positive radius balances bucket population
+    // against the number of buckets a query touches; fall back to the
+    // bounding-box diagonal for edgeless topologies.
+    let mut radii: Vec<f64> = t.radii().iter().copied().filter(|&r| r > 0.0).collect();
+    let cell = if radii.is_empty() {
+        1.0
+    } else {
+        radii.sort_unstable_by(f64::total_cmp);
+        radii[radii.len() / 2].max(1e-9)
+    };
+    let grid = UniformGrid::build(nodes.points(), cell);
+    let mut out = vec![0usize; n];
+    for u in 0..n {
+        if t.graph().degree(u) == 0 {
+            continue;
+        }
+        let r = t.radius(u);
+        grid.for_each_in_disk(nodes.pos(u), r, |v| {
+            if v != u {
+                out[v] += 1;
+            }
+        });
+    }
+    out
+}
+
+/// Graph interference `I(G')` (Definition 3.2): the maximum node
+/// interference; 0 for empty topologies.
+///
+/// ```
+/// use rim_udg::{NodeSet, Topology};
+/// use rim_core::receiver::graph_interference;
+///
+/// // A uniform three-hop chain: every node is covered only by its
+/// // immediate neighbors.
+/// let t = Topology::from_pairs(
+///     NodeSet::on_line(&[0.0, 0.3, 0.6, 0.9]),
+///     &[(0, 1), (1, 2), (2, 3)],
+/// );
+/// assert_eq!(graph_interference(&t), 2);
+/// ```
+pub fn graph_interference(t: &Topology) -> usize {
+    interference_vector(t).into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_geom::Point;
+    use rim_udg::NodeSet;
+
+    /// The five-node example of Figure 2: node `u` is covered by its
+    /// direct neighbor and by the distant node `v` whose radius reaches
+    /// over it, so `I(u) = 2`.
+    fn figure2() -> (Topology, usize, usize) {
+        // Layout mirroring the figure's structure: node u has one direct
+        // neighbor a; the distant node v is linked to b, and |vb| > |vu|,
+        // so v's disk reaches over u even though {u, v} is not a link.
+        // Node c is a's second neighbor, too close to cover u.
+        let u = Point::new(0.0, 0.0);
+        let a = Point::new(-0.2, 0.0);
+        let v = Point::new(0.8, 0.0);
+        let b = Point::new(1.3, 0.65); // |vb| ≈ 0.82 > |vu| = 0.8
+        let c = Point::new(-0.15, 0.08);
+        let ns = NodeSet::new(vec![u, a, v, b, c]);
+        let t = Topology::from_pairs(ns, &[(0, 1), (2, 3), (1, 4)]);
+        (t, 0, 2)
+    }
+
+    #[test]
+    fn figure2_interference_at_u_is_two() {
+        let (t, u, expect) = figure2();
+        assert_eq!(interference_at(&t, u), expect);
+    }
+
+    #[test]
+    fn naive_and_fast_agree_on_figure2() {
+        let (t, _, _) = figure2();
+        assert_eq!(interference_vector(&t), interference_vector_naive(&t));
+    }
+
+    #[test]
+    fn empty_and_isolated() {
+        let t = Topology::empty(NodeSet::on_line(&[0.0, 0.5, 1.0]));
+        assert_eq!(interference_vector(&t), vec![0, 0, 0]);
+        assert_eq!(graph_interference(&t), 0);
+        let none = Topology::empty(NodeSet::new(vec![]));
+        assert_eq!(graph_interference(&none), 0);
+        assert_eq!(interference_vector(&none), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn single_link_interferes_both_endpoints() {
+        let t = Topology::from_pairs(NodeSet::on_line(&[0.0, 0.4]), &[(0, 1)]);
+        assert_eq!(interference_vector(&t), vec![1, 1]);
+        assert_eq!(graph_interference(&t), 1);
+    }
+
+    #[test]
+    fn degree_lower_bounds_interference() {
+        // A star: the center's degree equals its interference; leaves see
+        // the center plus every other leaf whose radius reaches them.
+        let ns = NodeSet::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.5, 0.0),
+            Point::new(-0.5, 0.0),
+            Point::new(0.0, 0.5),
+        ]);
+        let t = Topology::from_pairs(ns, &[(0, 1), (0, 2), (0, 3)]);
+        let iv = interference_vector(&t);
+        for v in 0..t.num_nodes() {
+            assert!(iv[v] >= t.graph().degree(v), "deg <= I violated at {v}");
+        }
+    }
+
+    #[test]
+    fn coverage_by_non_neighbors_counts() {
+        // Chain 0-1-2 with growing gaps: node 2's radius (to 1) reaches
+        // node 0? positions 0, 0.3, 0.7: r_2 = 0.4, |2-0| = 0.7: no.
+        // positions 0, 0.5, 0.6: r_2 = 0.1 no. Use 0, 0.45, 0.9:
+        // r_2 = 0.45, |2-0| = 0.9 no. For coverage of 0 by 2 we need
+        // r_2 >= 0.9 but r_2 = |2-1|. Take 1 close to 0: 0, 0.05, 1.0.
+        let t = Topology::from_pairs(NodeSet::on_line(&[0.0, 0.05, 1.0]), &[(0, 1), (1, 2)]);
+        // r_0 = 0.05, r_1 = 0.95, r_2 = 0.95.
+        // I(0): covered by 1 (0.05 <= 0.95) and by 2 (1.0 > 0.95)? no.
+        assert_eq!(interference_at(&t, 0), 1);
+        // I(1): covered by 0 (0.05<=0.05) and 2 (0.95<=0.95) = 2.
+        assert_eq!(interference_at(&t, 1), 2);
+        // I(2): covered by 1 only (0 has tiny radius).
+        assert_eq!(interference_at(&t, 2), 1);
+        assert_eq!(graph_interference(&t), 2);
+    }
+
+    #[test]
+    fn coincident_nodes_with_zero_length_link() {
+        // Two nodes at the same position, linked: r = 0 for both, yet
+        // each transmits and covers the other (deg <= I must hold).
+        // A third coincident node without links transmits nothing.
+        let ns = NodeSet::new(vec![Point::ORIGIN, Point::ORIGIN, Point::ORIGIN]);
+        let t = Topology::from_pairs(ns, &[(0, 1)]);
+        let iv = interference_vector(&t);
+        assert_eq!(iv, vec![1, 1, 2], "nodes 0/1 cover each other and node 2");
+        assert_eq!(iv, interference_vector_naive(&t));
+        for v in 0..3 {
+            assert_eq!(interference_at(&t, v), iv[v], "per-node API must agree");
+            assert!(iv[v] >= t.graph().degree(v), "deg <= I at {v}");
+        }
+    }
+
+    #[test]
+    fn fast_agrees_with_naive_on_extreme_radius_spread() {
+        // Exponential chain: radii spread over many orders of magnitude —
+        // the stress case for the grid cell-size heuristic.
+        let scale = 2f64.powi(-20);
+        let xs: Vec<f64> = (0..20).map(|i| (2f64.powi(i) - 1.0) * scale).collect();
+        let ns = NodeSet::on_line(&xs);
+        let pairs: Vec<(usize, usize)> = (1..20).map(|i| (i - 1, i)).collect();
+        let t = Topology::from_pairs(ns, &pairs);
+        assert_eq!(interference_vector(&t), interference_vector_naive(&t));
+    }
+}

@@ -1,0 +1,213 @@
+//! Robustness of the interference measure under node arrival/departure.
+//!
+//! The paper's key structural argument (Section 1, Figure 1): in the
+//! receiver-centric model each node contributes **at most one** unit of
+//! interference to any other node — whatever its radius — so the arrival
+//! of a single node raises `I(v)` by at most 1 plus whatever *existing*
+//! nodes enlarge their disks to accommodate the newcomer. In the
+//! sender-centric model of \[2\] a single arrival can instead drag the
+//! measure from `O(1)` to `n`, because one new long link charges its
+//! entire coverage to the measure at once.
+//!
+//! This module provides the machinery to measure those deltas on concrete
+//! instances; the Figure 1 instance itself lives in `rim-workloads`.
+
+use crate::receiver::interference_vector;
+use crate::sender::sender_graph_interference;
+use rim_udg::{NodeSet, Topology};
+
+/// Per-node interference change between two topologies over the first
+/// `old_n` nodes (the nodes present in `before`).
+///
+/// `after` may have more nodes (arrivals) — they are ignored; node
+/// indices `0..old_n` must refer to the same positions in both.
+pub fn interference_deltas(before: &Topology, after: &Topology, old_n: usize) -> Vec<isize> {
+    assert!(old_n <= before.num_nodes() && old_n <= after.num_nodes());
+    for v in 0..old_n {
+        assert_eq!(
+            before.nodes().pos(v),
+            after.nodes().pos(v),
+            "node {v} moved between before/after"
+        );
+    }
+    let ib = interference_vector(before);
+    let ia = interference_vector(after);
+    (0..old_n).map(|v| ia[v] as isize - ib[v] as isize).collect()
+}
+
+/// How much interference a single node `u` contributes to every other
+/// node: 1 if `u`'s disk covers that node, else 0.
+///
+/// By construction the result is at most 1 everywhere — the structural
+/// reason the receiver-centric measure is robust.
+pub fn contribution_of(t: &Topology, u: usize) -> Vec<u8> {
+    let nodes = t.nodes();
+    if t.graph().degree(u) == 0 {
+        return vec![0; nodes.len()]; // isolated nodes transmit nothing
+    }
+    let r = t.radius(u);
+    let pu = nodes.pos(u);
+    (0..nodes.len())
+        .map(|v| u8::from(v != u && pu.dist(&nodes.pos(v)) <= r))
+        .collect()
+}
+
+/// Outcome of a node-arrival experiment under both interference models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ArrivalImpact {
+    /// Receiver-centric `I(G')` before the arrival.
+    pub receiver_before: usize,
+    /// Receiver-centric `I(G')` after the arrival.
+    pub receiver_after: usize,
+    /// Sender-centric (link coverage) measure before.
+    pub sender_before: usize,
+    /// Sender-centric measure after.
+    pub sender_after: usize,
+    /// Maximum per-node receiver-centric increase over the old nodes.
+    pub max_receiver_delta: isize,
+}
+
+/// Runs a node-arrival experiment: build a topology on `base`, then on
+/// `base + newcomer`, with the same topology-control algorithm, and report
+/// both interference measures before and after.
+///
+/// `build` receives the node set and must return a topology over exactly
+/// those nodes (any algorithm from `rim-topology-control` or `rim-highway`
+/// fits through a closure).
+pub fn arrival_impact<F>(base: &NodeSet, newcomer: rim_geom::Point, build: F) -> ArrivalImpact
+where
+    F: Fn(&NodeSet) -> Topology,
+{
+    let before = build(base);
+    assert_eq!(before.num_nodes(), base.len(), "builder changed node count");
+    let grown = base.with_node(newcomer);
+    let after = build(&grown);
+    assert_eq!(after.num_nodes(), grown.len(), "builder changed node count");
+    let deltas = interference_deltas(&before, &after, base.len());
+    ArrivalImpact {
+        receiver_before: crate::receiver::graph_interference(&before),
+        receiver_after: crate::receiver::graph_interference(&after),
+        sender_before: sender_graph_interference(&before),
+        sender_after: sender_graph_interference(&after),
+        max_receiver_delta: deltas.into_iter().max().unwrap_or(0),
+    }
+}
+
+/// One step of a growth trajectory: the interference measures right
+/// after the `k`-th node joined.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GrowthStep {
+    /// Network size after the arrival.
+    pub n: usize,
+    /// Receiver-centric `I(G')`.
+    pub receiver: usize,
+    /// Sender-centric link-coverage measure.
+    pub sender: usize,
+}
+
+/// Replays an entire arrival sequence: nodes join one at a time (in the
+/// order given), the topology is rebuilt by `build` after every arrival,
+/// and both interference measures are recorded.
+///
+/// This generalizes the single-arrival Figure 1 experiment to a network
+/// lifetime: the receiver-centric curve grows smoothly (bounded slope by
+/// the robustness argument), while the sender-centric curve can jump by
+/// `Θ(n)` at a single arrival.
+pub fn growth_trajectory<F>(points: &[rim_geom::Point], build: F) -> Vec<GrowthStep>
+where
+    F: Fn(&NodeSet) -> Topology,
+{
+    let mut out = Vec::with_capacity(points.len());
+    for k in 1..=points.len() {
+        let ns = NodeSet::new(points[..k].to_vec());
+        let t = build(&ns);
+        assert_eq!(t.num_nodes(), k, "builder changed node count");
+        out.push(GrowthStep {
+            n: k,
+            receiver: crate::receiver::graph_interference(&t),
+            sender: sender_graph_interference(&t),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_geom::Point;
+
+    /// Linear chain builder: connect consecutive nodes in x-order.
+    fn linear(ns: &NodeSet) -> Topology {
+        let order = ns.order_by_x();
+        let pairs: Vec<(usize, usize)> = order.windows(2).map(|w| (w[0], w[1])).collect();
+        Topology::from_pairs(ns.clone(), &pairs)
+    }
+
+    #[test]
+    fn contribution_is_at_most_one_everywhere() {
+        let ns = NodeSet::on_line(&[0.0, 0.2, 0.5, 0.9]);
+        let t = linear(&ns);
+        for u in 0..ns.len() {
+            for &c in &contribution_of(&t, u) {
+                assert!(c <= 1);
+            }
+        }
+    }
+
+    #[test]
+    fn deltas_zero_when_nothing_changes() {
+        let ns = NodeSet::on_line(&[0.0, 0.3, 0.7]);
+        let t = linear(&ns);
+        let deltas = interference_deltas(&t, &t, 3);
+        assert_eq!(deltas, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn arrival_at_chain_end_changes_little() {
+        // Uniform chain; the newcomer extends it by one hop on the right.
+        let ns = NodeSet::on_line(&[0.0, 0.1, 0.2, 0.3]);
+        let impact = arrival_impact(&ns, Point::on_line(0.4), linear);
+        // Old rightmost node now has a right neighbor; interference near
+        // the right end grows by at most a small constant.
+        assert!(impact.max_receiver_delta <= 2);
+        assert!(impact.receiver_after <= impact.receiver_before + 2);
+    }
+
+    #[test]
+    fn interference_vector_sums_contributions() {
+        let ns = NodeSet::on_line(&[0.0, 0.15, 0.45, 1.0]);
+        let t = linear(&ns);
+        let iv = crate::receiver::interference_vector(&t);
+        let mut sums = vec![0usize; ns.len()];
+        for u in 0..ns.len() {
+            for (v, &c) in contribution_of(&t, u).iter().enumerate() {
+                sums[v] += c as usize;
+            }
+        }
+        assert_eq!(iv, sums);
+    }
+
+    #[test]
+    fn growth_trajectory_records_every_arrival() {
+        let pts: Vec<Point> = (0..6).map(|i| Point::on_line(i as f64 * 0.2)).collect();
+        let steps = growth_trajectory(&pts, linear);
+        assert_eq!(steps.len(), 6);
+        assert_eq!(steps[0], GrowthStep { n: 1, receiver: 0, sender: 0 });
+        assert_eq!(steps[1].n, 2);
+        assert_eq!(steps[1].receiver, 1);
+        // A uniform chain's receiver interference saturates at 2.
+        assert!(steps.iter().all(|s| s.receiver <= 2));
+        // Sizes ascend.
+        for (k, s) in steps.iter().enumerate() {
+            assert_eq!(s.n, k + 1);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn moved_nodes_are_rejected() {
+        let a = linear(&NodeSet::on_line(&[0.0, 0.5]));
+        let b = linear(&NodeSet::on_line(&[0.0, 0.6]));
+        interference_deltas(&a, &b, 2);
+    }
+}

@@ -1,0 +1,111 @@
+//! The sender-centric link-coverage interference measure of Burkhart et
+//! al. (MobiHoc 2004) — reference \[2\] of the paper.
+//!
+//! That model charges interference to *links*: communication over an edge
+//! `{u, v}` is assumed to happen at power just sufficient to bridge the
+//! link in both directions, affecting every node within distance `|uv|`
+//! of either endpoint. The measure of a topology is the worst link:
+//!
+//! ```text
+//! Cov(u, v) = |{ w ∈ V : w ∈ D(u, |uv|) ∪ D(v, |uv|) }|
+//! I_sender(G') = max_{{u,v} ∈ E'} Cov(u, v)
+//! ```
+//!
+//! Endpoints themselves are counted as covered (they trivially are), so
+//! the maximum possible value is `n` — the convention matching the
+//! paper's Figure 1 narrative, where a single added node pushes the
+//! measure from a small constant up to "the total number of network
+//! nodes". The introduction's criticism, which `rim` exists to quantify,
+//! is twofold: coverage is charged at the *sender* side, and the measure
+//! can jump by `Θ(n)` when one node is added ([`crate::robustness`]).
+
+use rim_udg::Topology;
+
+/// Coverage of the (hypothetical or actual) link `{u, v}`: how many nodes
+/// lie in `D(u, |uv|) ∪ D(v, |uv|)`, endpoints included.
+pub fn edge_coverage(t: &Topology, u: usize, v: usize) -> usize {
+    assert!(u != v, "coverage of a self-loop");
+    let nodes = t.nodes();
+    let d_sq = nodes.dist_sq(u, v);
+    let pu = nodes.pos(u);
+    let pv = nodes.pos(v);
+    let mut count = 0;
+    for w in 0..nodes.len() {
+        let pw = nodes.pos(w);
+        if pw.dist_sq(&pu) <= d_sq || pw.dist_sq(&pv) <= d_sq {
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Sender-centric interference of a topology: the maximum link coverage,
+/// or 0 for edgeless topologies.
+pub fn sender_graph_interference(t: &Topology) -> usize {
+    t.edges()
+        .iter()
+        .map(|e| edge_coverage(t, e.u, e.v))
+        .max()
+        .unwrap_or(0)
+}
+
+/// Per-edge coverages, in the order of [`Topology::edges`].
+pub fn coverage_vector(t: &Topology) -> Vec<usize> {
+    t.edges()
+        .iter()
+        .map(|e| edge_coverage(t, e.u, e.v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_udg::NodeSet;
+
+    #[test]
+    fn isolated_pair_covers_itself() {
+        let t = Topology::from_pairs(NodeSet::on_line(&[0.0, 1.0]), &[(0, 1)]);
+        assert_eq!(edge_coverage(&t, 0, 1), 2);
+        assert_eq!(sender_graph_interference(&t), 2);
+    }
+
+    #[test]
+    fn long_link_over_cluster_covers_everything() {
+        // Three clustered nodes plus a far one; the long link's disks
+        // sweep up the whole cluster.
+        let t = Topology::from_pairs(
+            NodeSet::on_line(&[0.0, 0.01, 0.02, 1.0]),
+            &[(0, 1), (1, 2), (2, 3)],
+        );
+        assert_eq!(edge_coverage(&t, 2, 3), 4);
+        assert_eq!(sender_graph_interference(&t), 4);
+        // The short link at the left only covers the cluster.
+        assert_eq!(edge_coverage(&t, 0, 1), 3); // 0, 1, 2 (0.01 ring reaches 0.02)
+    }
+
+    #[test]
+    fn coverage_counts_union_not_sum() {
+        // Nodes covered by both endpoint disks are counted once.
+        let t = Topology::from_pairs(NodeSet::on_line(&[0.0, 0.5, 1.0]), &[(0, 2), (0, 1)]);
+        // Link {0,2}: both disks have radius 1 and jointly cover all 3.
+        assert_eq!(edge_coverage(&t, 0, 2), 3);
+    }
+
+    #[test]
+    fn edgeless_topology_has_zero() {
+        let t = Topology::empty(NodeSet::on_line(&[0.0, 0.1]));
+        assert_eq!(sender_graph_interference(&t), 0);
+        assert!(coverage_vector(&t).is_empty());
+    }
+
+    #[test]
+    fn coverage_vector_matches_edges_order() {
+        let t = Topology::from_pairs(NodeSet::on_line(&[0.0, 0.3, 0.9]), &[(1, 2), (0, 1)]);
+        let edges = t.edges();
+        let cov = coverage_vector(&t);
+        assert_eq!(cov.len(), edges.len());
+        for (e, &c) in edges.iter().zip(&cov) {
+            assert_eq!(c, edge_coverage(&t, e.u, e.v));
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Closest pair of points (divide and conquer).
+//!
+//! Used by the topology-control baselines (the Nearest Neighbor Forest
+//! starts from mutual nearest neighbors) and as a sanity check on
+//! instance generators (no two distinct nodes may coincide unless a
+//! construction explicitly asks for it).
+
+use crate::point::Point;
+
+/// Returns the indices `(i, j)` (`i < j`) of a closest pair of points and
+/// their distance, or `None` if fewer than two points are given.
+///
+/// Ties are broken deterministically (towards lexicographically smaller
+/// index pairs).
+pub fn closest_pair(points: &[Point]) -> Option<(usize, usize, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut order: Vec<u32> = (0..points.len() as u32).collect();
+    order.sort_unstable_by(|&a, &b| {
+        points[a as usize]
+            .lex_cmp(&points[b as usize])
+            .then(a.cmp(&b))
+    });
+    let mut buf = vec![0u32; order.len()];
+    let mut best = (f64::INFINITY, usize::MAX, usize::MAX);
+    rec(points, &mut order, &mut buf, &mut best);
+    let (d_sq, i, j) = best;
+    Some((i.min(j), i.max(j), d_sq.sqrt()))
+}
+
+/// `O(n²)` reference implementation, used by tests and small inputs.
+pub fn closest_pair_brute_force(points: &[Point]) -> Option<(usize, usize, f64)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let mut best = (f64::INFINITY, usize::MAX, usize::MAX);
+    for i in 0..points.len() {
+        for j in (i + 1)..points.len() {
+            let d = points[i].dist_sq(&points[j]);
+            if (d, i, j) < best {
+                best = (d, i, j);
+            }
+        }
+    }
+    Some((best.1, best.2, best.0.sqrt()))
+}
+
+/// Recursive step: `order` is sorted by x on entry and by y on exit
+/// (the classic merge-sort piggyback).
+fn rec(points: &[Point], order: &mut [u32], buf: &mut [u32], best: &mut (f64, usize, usize)) {
+    let n = order.len();
+    if n <= 3 {
+        for a in 0..n {
+            for b in (a + 1)..n {
+                consider(points, order[a] as usize, order[b] as usize, best);
+            }
+        }
+        order.sort_unstable_by(|&a, &b| {
+            points[a as usize]
+                .y
+                .total_cmp(&points[b as usize].y)
+                .then(a.cmp(&b))
+        });
+        return;
+    }
+    let mid = n / 2;
+    let split_x = points[order[mid] as usize].x;
+    {
+        let (left, right) = order.split_at_mut(mid);
+        let (bl, br) = buf.split_at_mut(mid);
+        rec(points, left, bl, best);
+        rec(points, right, br, best);
+    }
+    // Merge the two halves by y.
+    {
+        let (left, right) = order.split_at(mid);
+        let (mut i, mut j, mut k) = (0, 0, 0);
+        while i < left.len() && j < right.len() {
+            let li = left[i] as usize;
+            let rj = right[j] as usize;
+            if points[li]
+                .y
+                .total_cmp(&points[rj].y)
+                .then(left[i].cmp(&right[j]))
+                .is_le()
+            {
+                buf[k] = left[i];
+                i += 1;
+            } else {
+                buf[k] = right[j];
+                j += 1;
+            }
+            k += 1;
+        }
+        buf[k..k + left.len() - i].copy_from_slice(&left[i..]);
+        let k2 = k + left.len() - i;
+        buf[k2..k2 + right.len() - j].copy_from_slice(&right[j..]);
+    }
+    order.copy_from_slice(&buf[..n]);
+    // Strip: points within the current best distance of the split line,
+    // scanned in y-order; each needs to look at most ~7 successors.
+    let d = best.0.sqrt();
+    let mut strip_len = 0;
+    for &i in order.iter() {
+        if (points[i as usize].x - split_x).abs() <= d {
+            buf[strip_len] = i;
+            strip_len += 1;
+        }
+    }
+    for a in 0..strip_len {
+        let pa = points[buf[a] as usize];
+        for b in (a + 1)..strip_len {
+            let pb = points[buf[b] as usize];
+            if pb.y - pa.y > d {
+                break;
+            }
+            consider(points, buf[a] as usize, buf[b] as usize, best);
+        }
+    }
+}
+
+#[inline]
+fn consider(points: &[Point], i: usize, j: usize, best: &mut (f64, usize, usize)) {
+    let d = points[i].dist_sq(&points[j]);
+    let (lo, hi) = (i.min(j), i.max(j));
+    if (d, lo, hi) < *best {
+        *best = (d, lo, hi);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(rnd(), rnd())).collect()
+    }
+
+    #[test]
+    fn agrees_with_brute_force() {
+        for seed in 0..20u64 {
+            let pts = pseudo_points(120, seed + 1);
+            let fast = closest_pair(&pts).unwrap();
+            let brute = closest_pair_brute_force(&pts).unwrap();
+            assert_eq!(fast.2, brute.2, "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert_eq!(closest_pair(&[]), None);
+        assert_eq!(closest_pair(&[Point::ORIGIN]), None);
+        let two = [Point::ORIGIN, Point::new(3.0, 4.0)];
+        assert_eq!(closest_pair(&two), Some((0, 1, 5.0)));
+    }
+
+    #[test]
+    fn duplicate_points_have_distance_zero() {
+        let pts = [Point::new(0.5, 0.5), Point::new(1.0, 0.0), Point::new(0.5, 0.5)];
+        let (i, j, d) = closest_pair(&pts).unwrap();
+        assert_eq!((i, j), (0, 2));
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn collinear_highway_input() {
+        let pts: Vec<Point> = [0.0, 0.9, 1.0, 2.5, 2.55].iter().map(|&x| Point::on_line(x)).collect();
+        let (i, j, d) = closest_pair(&pts).unwrap();
+        assert_eq!((i, j), (3, 4));
+        assert!((d - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn exponential_chain_closest_is_leftmost_gap() {
+        let pts: Vec<Point> = (0..20)
+            .map(|i| Point::on_line((2f64.powi(i) - 1.0) / 2f64.powi(20)))
+            .collect();
+        let (i, j, _) = closest_pair(&pts).unwrap();
+        assert_eq!((i, j), (0, 1));
+    }
+}

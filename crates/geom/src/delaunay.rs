@@ -1,0 +1,280 @@
+//! Delaunay triangulation (Bowyer–Watson).
+//!
+//! The "first generation" of topology control (Section 2 of the paper)
+//! leaned on structures from computational geometry; the Delaunay
+//! triangulation underlies the planar spanners of Li–Calinescu–Wan
+//! (reference \[10\]). This is a from-scratch incremental Bowyer–Watson
+//! implementation, adequate for the experiment scales (`O(n²)` worst
+//! case, near `O(n log n)` on random inputs thanks to point shuffling
+//! being unnecessary at our sizes).
+//!
+//! Degeneracies: cocircular quadruples are resolved by the floating-point
+//! in-circle sign (no exact arithmetic); exactly duplicated points are
+//! skipped. For the random and structured instances used in this
+//! workspace that is sufficient, and the property tests assert the
+//! empty-circumcircle invariant within `f64` tolerance.
+
+use crate::point::Point;
+
+/// A triangle as three point indices (counter-clockwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Triangle(pub usize, pub usize, pub usize);
+
+/// Result of a Delaunay triangulation.
+#[derive(Debug, Clone)]
+pub struct Delaunay {
+    /// Triangles with all-real vertices (super-triangle removed), CCW.
+    pub triangles: Vec<Triangle>,
+    /// Unique Delaunay edges `(u, v)` with `u < v`, sorted.
+    pub edges: Vec<(usize, usize)>,
+}
+
+/// Computes the Delaunay triangulation of `points`.
+///
+/// Duplicate points are ignored (first occurrence wins); inputs with
+/// fewer than 3 distinct non-collinear points yield no triangles and the
+/// edges of their (degenerate) hull.
+pub fn delaunay(points: &[Point]) -> Delaunay {
+    let n = points.len();
+    if n < 2 {
+        return Delaunay {
+            triangles: Vec::new(),
+            edges: Vec::new(),
+        };
+    }
+
+    // Super-triangle comfortably containing everything.
+    let bbox = crate::bbox::Aabb::of_points(points);
+    let span = (bbox.width().max(bbox.height())).max(1e-9);
+    let cx = (bbox.min.x + bbox.max.x) * 0.5;
+    let cy = (bbox.min.y + bbox.max.y) * 0.5;
+    // Far enough that circumcircles of real triangles essentially never
+    // reach the super vertices (hull triangles with near-collinear
+    // vertices have very large circumcircles).
+    let s0 = Point::new(cx - 3.0e5 * span, cy - 2.0e5 * span);
+    let s1 = Point::new(cx + 3.0e5 * span, cy - 2.0e5 * span);
+    let s2 = Point::new(cx, cy + 3.0e5 * span);
+    // Work list of points: originals then the three super vertices at
+    // indices n, n+1, n+2.
+    let mut pts: Vec<Point> = points.to_vec();
+    pts.extend([s0, s1, s2]);
+
+    let mut tris: Vec<[usize; 3]> = vec![[n, n + 1, n + 2]];
+    let mut seen_dup = std::collections::HashSet::new();
+
+    for (i, p) in points.iter().enumerate() {
+        if !seen_dup.insert((p.x.to_bits(), p.y.to_bits())) {
+            continue; // exact duplicate
+        }
+        // Find all triangles whose circumcircle contains p.
+        let mut bad: Vec<usize> = Vec::new();
+        for (ti, t) in tris.iter().enumerate() {
+            if in_circumcircle(&pts, *t, *p) {
+                bad.push(ti);
+            }
+        }
+        // Boundary of the cavity: edges appearing in exactly one bad
+        // triangle.
+        let mut boundary: Vec<(usize, usize)> = Vec::new();
+        for &ti in &bad {
+            let t = tris[ti];
+            for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+                let key = (a.min(b), a.max(b));
+                if let Some(pos) = boundary
+                    .iter()
+                    .position(|&(x, y)| (x.min(y), x.max(y)) == key)
+                {
+                    boundary.swap_remove(pos);
+                } else {
+                    boundary.push((a, b));
+                }
+            }
+        }
+        // Remove bad triangles (descending order keeps indices valid).
+        for &ti in bad.iter().rev() {
+            tris.swap_remove(ti);
+        }
+        // Re-triangulate the cavity.
+        for (a, b) in boundary {
+            tris.push(ccw_triangle(&pts, a, b, i));
+        }
+    }
+
+    // Strip super-triangle incidences.
+    tris.retain(|t| t.iter().all(|&v| v < n));
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(tris.len() * 3 / 2);
+    for t in &tris {
+        for (a, b) in [(t[0], t[1]), (t[1], t[2]), (t[2], t[0])] {
+            edges.push((a.min(b), a.max(b)));
+        }
+    }
+    edges.sort_unstable();
+    edges.dedup();
+
+    // Degenerate (collinear) inputs: fall back to chaining the points in
+    // lexicographic order so the structure is still connected.
+    if edges.is_empty() && n >= 2 {
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_unstable_by(|&a, &b| points[a].lex_cmp(&points[b]).then(a.cmp(&b)));
+        order.dedup_by(|&mut a, &mut b| points[a] == points[b]);
+        for w in order.windows(2) {
+            edges.push((w[0].min(w[1]), w[0].max(w[1])));
+        }
+        edges.sort_unstable();
+    }
+
+    Delaunay {
+        triangles: tris
+            .into_iter()
+            .map(|t| Triangle(t[0], t[1], t[2]))
+            .collect(),
+        edges,
+    }
+}
+
+fn ccw_triangle(pts: &[Point], a: usize, b: usize, c: usize) -> [usize; 3] {
+    if Point::cross(&pts[a], &pts[b], &pts[c]) >= 0.0 {
+        [a, b, c]
+    } else {
+        [a, c, b]
+    }
+}
+
+/// In-circle predicate: is `p` strictly inside the circumcircle of the
+/// (CCW) triangle `t`?
+fn in_circumcircle(pts: &[Point], t: [usize; 3], p: Point) -> bool {
+    let (a, b, c) = (pts[t[0]], pts[t[1]], pts[t[2]]);
+    // Ensure CCW orientation for the determinant's sign convention.
+    let (b, c) = if Point::cross(&a, &b, &c) >= 0.0 {
+        (b, c)
+    } else {
+        (c, b)
+    };
+    let (ax, ay) = (a.x - p.x, a.y - p.y);
+    let (bx, by) = (b.x - p.x, b.y - p.y);
+    let (cx, cy) = (c.x - p.x, c.y - p.y);
+    let det = (ax * ax + ay * ay) * (bx * cy - cx * by)
+        - (bx * bx + by * by) * (ax * cy - cx * ay)
+        + (cx * cx + cy * cy) * (ax * by - bx * ay);
+    det > 0.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(rnd(), rnd())).collect()
+    }
+
+    /// Does the circumcircle of `t` avoid all other points (tolerance for
+    /// f64 cocircularity)?
+    fn empty_circumcircle(pts: &[Point], t: Triangle) -> bool {
+        (0..pts.len())
+            .filter(|&i| i != t.0 && i != t.1 && i != t.2)
+            .all(|i| !strict_inside_with_margin(pts, [t.0, t.1, t.2], pts[i]))
+    }
+
+    fn strict_inside_with_margin(pts: &[Point], t: [usize; 3], p: Point) -> bool {
+        // Shrink towards the circumcenter slightly to avoid flagging
+        // near-cocircular points as violations.
+        let (a, b, c) = (pts[t[0]], pts[t[1]], pts[t[2]]);
+        let d = 2.0 * (a.x * (b.y - c.y) + b.x * (c.y - a.y) + c.x * (a.y - b.y));
+        if d.abs() < 1e-12 {
+            return false;
+        }
+        let ux = ((a.norm_sq()) * (b.y - c.y)
+            + (b.norm_sq()) * (c.y - a.y)
+            + (c.norm_sq()) * (a.y - b.y))
+            / d;
+        let uy = ((a.norm_sq()) * (c.x - b.x)
+            + (b.norm_sq()) * (a.x - c.x)
+            + (c.norm_sq()) * (b.x - a.x))
+            / d;
+        let center = Point::new(ux, uy);
+        let r = center.dist(&a);
+        center.dist(&p) < r - 1e-9
+    }
+
+    #[test]
+    fn square_with_center() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5),
+        ];
+        let d = delaunay(&pts);
+        assert_eq!(d.triangles.len(), 4, "center splits the square into 4");
+        // All hull edges plus the 4 spokes.
+        assert_eq!(d.edges.len(), 8);
+        for t in &d.triangles {
+            assert!(empty_circumcircle(&pts, *t), "{t:?}");
+        }
+    }
+
+    #[test]
+    fn empty_circumcircle_property_on_random_points() {
+        for seed in 1..5u64 {
+            let pts = pseudo_points(60, seed);
+            let d = delaunay(&pts);
+            // Euler: for a triangulation of a point set with h hull
+            // vertices: T = 2n - h - 2, E = 3n - h - 3.
+            let hull = crate::hull::convex_hull(&pts).len();
+            assert_eq!(d.triangles.len(), 2 * pts.len() - hull - 2, "seed={seed}");
+            assert_eq!(d.edges.len(), 3 * pts.len() - hull - 3, "seed={seed}");
+            for t in &d.triangles {
+                assert!(empty_circumcircle(&pts, *t), "seed={seed} {t:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn contains_the_nearest_neighbor_graph() {
+        let pts = pseudo_points(80, 9);
+        let d = delaunay(&pts);
+        let has = |u: usize, v: usize| d.edges.binary_search(&(u.min(v), u.max(v))).is_ok();
+        for u in 0..pts.len() {
+            let nn = (0..pts.len())
+                .filter(|&v| v != u)
+                .min_by(|&a, &b| pts[a].dist_sq(&pts[u]).total_cmp(&pts[b].dist_sq(&pts[u])))
+                .unwrap();
+            assert!(has(u, nn), "NN edge ({u}, {nn}) missing");
+        }
+    }
+
+    #[test]
+    fn tiny_inputs() {
+        assert!(delaunay(&[]).edges.is_empty());
+        assert!(delaunay(&[Point::ORIGIN]).edges.is_empty());
+        let two = delaunay(&[Point::ORIGIN, Point::new(1.0, 0.0)]);
+        assert_eq!(two.edges, vec![(0, 1)]);
+        assert!(two.triangles.is_empty());
+    }
+
+    #[test]
+    fn collinear_points_chain_up() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::on_line(i as f64)).collect();
+        let d = delaunay(&pts);
+        assert!(d.triangles.is_empty());
+        assert_eq!(d.edges, vec![(0, 1), (1, 2), (2, 3), (3, 4)]);
+    }
+
+    #[test]
+    fn duplicates_are_tolerated() {
+        let pts = vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.0, 0.0), // duplicate of 0
+            Point::new(0.5, 0.8),
+        ];
+        let d = delaunay(&pts);
+        assert_eq!(d.triangles.len(), 1);
+    }
+}

@@ -1,0 +1,131 @@
+//! Closed disks `D(c, r)` — the interference regions of the model.
+
+use crate::point::Point;
+
+/// A closed disk `D(c, r)`: all points at distance at most `r` from `c`.
+///
+/// In the interference model a node `u` with transmission radius `r_u`
+/// "covers" every node inside `D(u, r_u)`; coverage is what Definition 3.1
+/// of the paper counts. The containment predicate is deliberately *closed*
+/// (`<=`): a node's farthest neighbor lies exactly on the boundary of its
+/// disk and must be covered.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Disk {
+    /// Disk center.
+    pub center: Point,
+    /// Disk radius (non-negative; a zero radius covers only the center).
+    pub radius: f64,
+}
+
+impl Disk {
+    /// Creates a disk. Panics in debug builds if the radius is negative
+    /// or non-finite.
+    #[inline]
+    pub fn new(center: Point, radius: f64) -> Self {
+        debug_assert!(radius >= 0.0 && radius.is_finite(), "bad radius {radius}");
+        Disk { center, radius }
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary of the disk.
+    ///
+    /// The comparison happens at distance level (`dist <= r`, not on
+    /// squares): a radius copied from a [`Point::dist`] result then keeps
+    /// the boundary point inside, which the interference model relies on
+    /// (a node's farthest neighbor sits exactly on its disk boundary).
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        self.center.dist(p) <= self.radius
+    }
+
+    /// Returns `true` if `p` lies strictly inside the disk.
+    #[inline]
+    pub fn contains_strict(&self, p: &Point) -> bool {
+        self.center.dist(p) < self.radius
+    }
+
+    /// Returns `true` if the two (closed) disks intersect.
+    #[inline]
+    pub fn intersects(&self, other: &Disk) -> bool {
+        let r = self.radius + other.radius;
+        self.center.dist_sq(&other.center) <= r * r
+    }
+
+    /// Returns `true` if this disk entirely contains `other`.
+    #[inline]
+    pub fn contains_disk(&self, other: &Disk) -> bool {
+        if other.radius > self.radius {
+            return false;
+        }
+        let slack = self.radius - other.radius;
+        self.center.dist_sq(&other.center) <= slack * slack
+    }
+
+    /// Area of the disk.
+    #[inline]
+    pub fn area(&self) -> f64 {
+        std::f64::consts::PI * self.radius * self.radius
+    }
+
+    /// The disk spanned by a transmitting node: centered at `u`, with
+    /// radius equal to the distance to `v` (its farthest neighbor).
+    #[inline]
+    pub fn spanned_by(u: Point, v: Point) -> Self {
+        Disk::new(u, u.dist(&v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_containment_includes_boundary() {
+        let d = Disk::new(Point::ORIGIN, 1.0);
+        assert!(d.contains(&Point::new(1.0, 0.0)));
+        assert!(!d.contains_strict(&Point::new(1.0, 0.0)));
+        assert!(d.contains(&Point::new(0.0, 0.0)));
+        assert!(!d.contains(&Point::new(1.0 + 1e-9, 0.0)));
+    }
+
+    #[test]
+    fn spanned_by_covers_the_far_endpoint() {
+        let u = Point::new(0.25, 0.5);
+        let v = Point::new(0.75, 0.125);
+        let d = Disk::spanned_by(u, v);
+        // The farthest neighbor must be covered even though the radius went
+        // through a sqrt: dist(u,v) <= dist(u,v) holds exactly.
+        assert!(d.contains(&v));
+    }
+
+    #[test]
+    fn zero_radius_covers_only_center() {
+        let d = Disk::new(Point::new(2.0, 3.0), 0.0);
+        assert!(d.contains(&Point::new(2.0, 3.0)));
+        assert!(!d.contains(&Point::new(2.0, f64::from_bits(3.0f64.to_bits() + 1))));
+    }
+
+    #[test]
+    fn disk_intersection() {
+        let a = Disk::new(Point::ORIGIN, 1.0);
+        let b = Disk::new(Point::new(2.0, 0.0), 1.0); // tangent
+        let c = Disk::new(Point::new(2.0 + 1e-9, 0.0), 1.0);
+        assert!(a.intersects(&b));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn disk_containment_of_disks() {
+        let big = Disk::new(Point::ORIGIN, 2.0);
+        let small = Disk::new(Point::new(1.0, 0.0), 1.0); // internally tangent
+        let out = Disk::new(Point::new(1.5, 0.0), 1.0);
+        assert!(big.contains_disk(&small));
+        assert!(!big.contains_disk(&out));
+        assert!(!small.contains_disk(&big));
+    }
+
+    #[test]
+    fn area_of_unit_disk() {
+        let d = Disk::new(Point::ORIGIN, 1.0);
+        assert!((d.area() - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

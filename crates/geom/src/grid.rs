@@ -1,0 +1,334 @@
+//! Uniform bucket grid — the workhorse spatial index.
+//!
+//! Interference queries repeatedly ask "which points lie within distance
+//! `r` of `p`?". For the point densities of ad-hoc network instances a
+//! uniform grid with cell size matched to the typical query radius answers
+//! this in output-sensitive time and with far better constants than a tree.
+
+use crate::bbox::Aabb;
+use crate::point::Point;
+
+/// A uniform bucket grid over a fixed set of points.
+///
+/// The grid stores point *indices* into the slice it was built from, so it
+/// composes with any external node numbering. Buckets are stored in a flat
+/// CSR-like layout (`starts` + `items`) to keep the index allocation-free
+/// at query time.
+///
+/// ```
+/// use rim_geom::{Point, UniformGrid};
+///
+/// let pts = vec![Point::new(0.0, 0.0), Point::new(0.5, 0.0), Point::new(2.0, 2.0)];
+/// let grid = UniformGrid::build(&pts, 0.5);
+/// assert_eq!(grid.query_disk(Point::new(0.1, 0.0), 0.5), vec![0, 1]);
+/// assert_eq!(grid.nearest(Point::new(1.8, 1.8), usize::MAX), Some(2));
+/// ```
+#[derive(Debug, Clone)]
+pub struct UniformGrid {
+    origin: Point,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    starts: Vec<u32>,
+    items: Vec<u32>,
+    points: Vec<Point>,
+}
+
+impl UniformGrid {
+    /// Builds a grid over `points` with the given `cell` size.
+    ///
+    /// `cell` must be positive and finite. A good choice is the dominant
+    /// query radius; queries with radius `r` touch `O((r/cell + 2)^2)`
+    /// buckets. The requested cell size is a *hint*: if it would create
+    /// more than `O(n)` buckets over the points' bounding box (think a
+    /// nanometer cell over a kilometer span — exponential node chains do
+    /// this), the cell is enlarged to keep memory linear in `n`; queries
+    /// stay correct, only their constant factor changes.
+    pub fn build(points: &[Point], cell: f64) -> Self {
+        assert!(cell > 0.0 && cell.is_finite(), "bad cell size {cell}");
+        let bbox = Aabb::of_points(points);
+        let (origin, nx, ny, cell) = if bbox.is_empty() {
+            (Point::ORIGIN, 1, 1, cell)
+        } else {
+            let budget = (8 * points.len() + 1024) as f64;
+            let mut cell = cell;
+            let cells_for = |c: f64| {
+                ((bbox.width() / c).floor() + 1.0) * ((bbox.height() / c).floor() + 1.0)
+            };
+            if cells_for(cell) > budget {
+                cell *= (cells_for(cell) / budget).sqrt().max(2.0);
+                while cells_for(cell) > budget {
+                    cell *= 2.0;
+                }
+            }
+            let nx = (bbox.width() / cell).floor() as usize + 1;
+            let ny = (bbox.height() / cell).floor() as usize + 1;
+            (bbox.min, nx, ny, cell)
+        };
+
+        let ncells = nx * ny;
+        let mut counts = vec![0u32; ncells + 1];
+        let cell_of = |p: &Point| -> usize {
+            let cx = (((p.x - origin.x) / cell).floor() as usize).min(nx - 1);
+            let cy = (((p.y - origin.y) / cell).floor() as usize).min(ny - 1);
+            cy * nx + cx
+        };
+        for p in points {
+            counts[cell_of(p) + 1] += 1;
+        }
+        for i in 1..=ncells {
+            counts[i] += counts[i - 1];
+        }
+        let starts = counts.clone();
+        let mut cursor = counts;
+        let mut items = vec![0u32; points.len()];
+        for (i, p) in points.iter().enumerate() {
+            let c = cell_of(p);
+            items[cursor[c] as usize] = i as u32;
+            cursor[c] += 1;
+        }
+
+        UniformGrid {
+            origin,
+            cell,
+            nx,
+            ny,
+            starts,
+            items,
+            points: points.to_vec(),
+        }
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` if the grid indexes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The point with index `i` (as passed at build time).
+    #[inline]
+    pub fn point(&self, i: usize) -> Point {
+        self.points[i]
+    }
+
+    /// Calls `f(i)` for every point index `i` with `|points[i] - c| <= r`.
+    ///
+    /// The center `c` need not be an indexed point. Visit order is
+    /// deterministic (bucket-major, insertion order within buckets).
+    /// Membership uses the distance-level predicate `|p - c| <= r` (not
+    /// squared), so a radius copied from a [`Point::dist`] result keeps
+    /// the boundary point inside — the exactness policy of this crate.
+    pub fn for_each_in_disk<F: FnMut(usize)>(&self, c: Point, r: f64, mut f: F) {
+        debug_assert!(r >= 0.0);
+        let x0 = ((c.x - r - self.origin.x) / self.cell).floor();
+        let x1 = ((c.x + r - self.origin.x) / self.cell).floor();
+        let y0 = ((c.y - r - self.origin.y) / self.cell).floor();
+        let y1 = ((c.y + r - self.origin.y) / self.cell).floor();
+        let cx0 = x0.max(0.0) as usize;
+        let cx1 = (x1.max(-1.0) as isize).min(self.nx as isize - 1);
+        let cy0 = y0.max(0.0) as usize;
+        let cy1 = (y1.max(-1.0) as isize).min(self.ny as isize - 1);
+        if cx1 < cx0 as isize || cy1 < cy0 as isize {
+            return;
+        }
+        for cy in cy0..=(cy1 as usize) {
+            for cx in cx0..=(cx1 as usize) {
+                let cidx = cy * self.nx + cx;
+                let lo = self.starts[cidx] as usize;
+                let hi = self.starts[cidx + 1] as usize;
+                for &i in &self.items[lo..hi] {
+                    if self.points[i as usize].dist(&c) <= r {
+                        f(i as usize);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Collects the indices of all points within distance `r` of `c`.
+    pub fn query_disk(&self, c: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_in_disk(c, r, |i| out.push(i));
+        out
+    }
+
+    /// Counts the points within distance `r` of `c`.
+    pub fn count_in_disk(&self, c: Point, r: f64) -> usize {
+        let mut n = 0;
+        self.for_each_in_disk(c, r, |_| n += 1);
+        n
+    }
+
+    /// Index of the nearest indexed point to `c` that is not `exclude`
+    /// (pass `usize::MAX` to exclude nothing). Returns `None` when no
+    /// eligible point exists. Ties break towards the smaller index.
+    pub fn nearest(&self, c: Point, exclude: usize) -> Option<usize> {
+        if self.points.is_empty() || (self.points.len() == 1 && exclude == 0) {
+            return None;
+        }
+        // Expanding ring search: try radii cell, 2*cell, 4*cell, ... until a
+        // hit is found, then verify with one final query at the found
+        // distance (a closer point could sit in a diagonal bucket).
+        let mut r = self.cell;
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            self.for_each_in_disk(c, r, |i| {
+                if i == exclude {
+                    return;
+                }
+                let d = self.points[i].dist_sq(&c);
+                match best {
+                    Some((bd, bi)) if (d, i) >= (bd, bi) => {}
+                    _ => best = Some((d, i)),
+                }
+            });
+            if let Some((d_sq, i)) = best {
+                let d = d_sq.sqrt();
+                if d <= r {
+                    // Confirm: search the exact radius d to catch diagonal
+                    // neighbors that the square-of-buckets already covers.
+                    let mut confirm = (d_sq, i);
+                    self.for_each_in_disk(c, d, |j| {
+                        if j == exclude {
+                            return;
+                        }
+                        let dj = self.points[j].dist_sq(&c);
+                        if (dj, j) < confirm {
+                            confirm = (dj, j);
+                        }
+                    });
+                    return Some(confirm.1);
+                }
+            }
+            r *= 2.0;
+            // Bail out once the ring covers the whole point set.
+            if r > 4.0 * self.span() + 4.0 * self.cell {
+                let mut best: Option<(f64, usize)> = None;
+                for (i, p) in self.points.iter().enumerate() {
+                    if i == exclude {
+                        continue;
+                    }
+                    let d = p.dist_sq(&c);
+                    if best.is_none_or(|(bd, bi)| (d, i) < (bd, bi)) {
+                        best = Some((d, i));
+                    }
+                }
+                return best.map(|(_, i)| i);
+            }
+        }
+    }
+
+    fn span(&self) -> f64 {
+        let w = self.nx as f64 * self.cell;
+        let h = self.ny as f64 * self.cell;
+        (w * w + h * h).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn brute_disk(points: &[Point], c: Point, r: f64) -> Vec<usize> {
+        (0..points.len())
+            .filter(|&i| points[i].dist(&c) <= r)
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_brute_force_on_lattice() {
+        let mut pts = Vec::new();
+        for i in 0..10 {
+            for j in 0..10 {
+                pts.push(Point::new(i as f64 * 0.1, j as f64 * 0.1));
+            }
+        }
+        let grid = UniformGrid::build(&pts, 0.25);
+        for &(cx, cy, r) in &[(0.5, 0.5, 0.3), (0.0, 0.0, 0.15), (0.95, 0.1, 0.5)] {
+            let c = Point::new(cx, cy);
+            let mut got = grid.query_disk(c, r);
+            got.sort_unstable();
+            assert_eq!(got, brute_disk(&pts, c, r));
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let grid = UniformGrid::build(&[], 1.0);
+        assert!(grid.is_empty());
+        assert_eq!(grid.query_disk(Point::ORIGIN, 10.0), Vec::<usize>::new());
+        assert_eq!(grid.nearest(Point::ORIGIN, usize::MAX), None);
+
+        let grid = UniformGrid::build(&[Point::new(3.0, 4.0)], 1.0);
+        assert_eq!(grid.query_disk(Point::ORIGIN, 5.0), vec![0]);
+        assert_eq!(grid.query_disk(Point::ORIGIN, 4.9), Vec::<usize>::new());
+        assert_eq!(grid.nearest(Point::ORIGIN, usize::MAX), Some(0));
+        assert_eq!(grid.nearest(Point::ORIGIN, 0), None);
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        // Deterministic pseudo-random points via a simple LCG.
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..200).map(|_| Point::new(rnd(), rnd())).collect();
+        let grid = UniformGrid::build(&pts, 0.05);
+        for q in 0..pts.len() {
+            let got = grid.nearest(pts[q], q).unwrap();
+            let want = (0..pts.len())
+                .filter(|&i| i != q)
+                .min_by(|&a, &b| {
+                    pts[a]
+                        .dist_sq(&pts[q])
+                        .total_cmp(&pts[b].dist_sq(&pts[q]))
+                        .then(a.cmp(&b))
+                })
+                .unwrap();
+            assert_eq!(
+                pts[got].dist_sq(&pts[q]),
+                pts[want].dist_sq(&pts[q]),
+                "q={q} got={got} want={want}"
+            );
+        }
+    }
+
+    #[test]
+    fn boundary_points_are_included() {
+        // A point exactly at distance r must be reported (closed disk).
+        let pts = [Point::ORIGIN, Point::new(1.0, 0.0)];
+        let grid = UniformGrid::build(&pts, 0.3);
+        assert_eq!(grid.query_disk(Point::ORIGIN, 1.0), vec![0, 1]);
+    }
+
+    #[test]
+    fn pathological_cell_sizes_stay_bounded() {
+        // A nanometer cell over a unit span must not allocate a huge
+        // bucket table (regression: exponential-chain radii as cells).
+        let pts: Vec<Point> = (0..32)
+            .map(|i| Point::on_line((2f64.powi(i) - 1.0) / 2f64.powi(32)))
+            .collect();
+        let grid = UniformGrid::build(&pts, 2f64.powi(-32));
+        let mut got = grid.query_disk(Point::on_line(0.0), 0.5);
+        got.sort_unstable();
+        assert_eq!(got, brute_disk(&pts, Point::on_line(0.0), 0.5));
+        assert_eq!(grid.nearest(pts[5], 5), Some(4));
+    }
+
+    #[test]
+    fn collinear_highway_points() {
+        let pts: Vec<Point> = (0..50).map(|i| Point::on_line(i as f64 * 0.02)).collect();
+        let grid = UniformGrid::build(&pts, 0.1);
+        let mut got = grid.query_disk(Point::on_line(0.5), 0.1);
+        got.sort_unstable();
+        assert_eq!(got, brute_disk(&pts, Point::on_line(0.5), 0.1));
+    }
+}

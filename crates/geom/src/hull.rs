@@ -1,0 +1,131 @@
+//! Convex hull (Andrew's monotone chain).
+//!
+//! Used by instance analyzers (e.g. to report the spatial extent of a
+//! generated workload) and by tests that check generator envelopes.
+
+use crate::point::Point;
+
+/// Returns the indices of the convex hull vertices of `points` in
+/// counter-clockwise order, starting from the lexicographically smallest
+/// point. Collinear points on hull edges are excluded.
+///
+/// Degenerate inputs: fewer than three distinct points return all distinct
+/// points (sorted lexicographically); fully collinear inputs return the two
+/// extreme points.
+pub fn convex_hull(points: &[Point]) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..points.len()).collect();
+    order.sort_unstable_by(|&a, &b| points[a].lex_cmp(&points[b]).then(a.cmp(&b)));
+    order.dedup_by(|&mut a, &mut b| points[a] == points[b]);
+
+    if order.len() <= 2 {
+        return order;
+    }
+
+    let mut hull: Vec<usize> = Vec::with_capacity(order.len() * 2);
+    // Lower hull.
+    for &i in &order {
+        while hull.len() >= 2 {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            if Point::cross(&points[a], &points[b], &points[i]) <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    // Upper hull.
+    let lower_len = hull.len() + 1;
+    for &i in order.iter().rev().skip(1) {
+        while hull.len() >= lower_len {
+            let a = hull[hull.len() - 2];
+            let b = hull[hull.len() - 1];
+            if Point::cross(&points[a], &points[b], &points[i]) <= 0.0 {
+                hull.pop();
+            } else {
+                break;
+            }
+        }
+        hull.push(i);
+    }
+    hull.pop(); // The last point equals the first.
+
+    if hull.len() < 2 {
+        // Fully collinear input: return the two extremes.
+        return vec![order[0], *order.last().unwrap()];
+    }
+    hull
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_hull() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(1.0, 1.0),
+            Point::new(0.0, 1.0),
+            Point::new(0.5, 0.5), // interior
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 4);
+        assert!(!hull.contains(&4));
+        assert_eq!(hull[0], 0); // starts at lexicographic minimum
+    }
+
+    #[test]
+    fn collinear_points_return_extremes() {
+        let pts: Vec<Point> = (0..5).map(|i| Point::on_line(i as f64)).collect();
+        let hull = convex_hull(&pts);
+        assert_eq!(hull, vec![0, 4]);
+    }
+
+    #[test]
+    fn collinear_edge_points_excluded() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(2.0, 0.0),
+            Point::new(1.0, 0.0), // on the bottom edge
+            Point::new(1.0, 1.0),
+        ];
+        let hull = convex_hull(&pts);
+        assert_eq!(hull.len(), 3);
+        assert!(!hull.contains(&2));
+    }
+
+    #[test]
+    fn tiny_and_duplicate_inputs() {
+        assert_eq!(convex_hull(&[]), Vec::<usize>::new());
+        assert_eq!(convex_hull(&[Point::ORIGIN]), vec![0]);
+        let dup = [Point::ORIGIN, Point::ORIGIN];
+        assert_eq!(convex_hull(&dup), vec![0]);
+        let two = [Point::new(1.0, 0.0), Point::new(0.0, 0.0)];
+        assert_eq!(convex_hull(&two), vec![1, 0]);
+    }
+
+    #[test]
+    fn hull_is_counter_clockwise() {
+        let pts = [
+            Point::new(0.0, 0.0),
+            Point::new(4.0, 0.0),
+            Point::new(4.0, 3.0),
+            Point::new(2.0, 5.0),
+            Point::new(0.0, 3.0),
+            Point::new(2.0, 2.0),
+        ];
+        let hull = convex_hull(&pts);
+        // Shoelace area must be positive for CCW order.
+        let mut area2 = 0.0;
+        for k in 0..hull.len() {
+            let a = pts[hull[k]];
+            let b = pts[hull[(k + 1) % hull.len()]];
+            area2 += a.x * b.y - b.x * a.y;
+        }
+        assert!(area2 > 0.0);
+        assert!(!hull.contains(&5));
+    }
+}

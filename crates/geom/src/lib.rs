@@ -1,0 +1,50 @@
+//! Geometry substrate for the `rim` workspace.
+//!
+//! The interference model of von Rickenbach et al. (IPDPS 2005) is defined
+//! over points in the Euclidean plane (or on a line, the *highway model*)
+//! and disks induced by transmission radii. This crate provides exactly the
+//! primitives the rest of the workspace needs, built from scratch:
+//!
+//! * [`Point`] — a point in the plane (`f64` coordinates) with distance
+//!   helpers that prefer squared distances in hot paths,
+//! * [`Disk`] — a closed disk `D(c, r)` with containment predicates,
+//! * [`Aabb`] — axis-aligned bounding boxes,
+//! * [`UniformGrid`] — a bucket grid spatial index for range queries,
+//! * [`KdTree`] — a static 2-d tree for nearest-neighbor queries,
+//! * [`closest_pair`] — divide-and-conquer closest pair,
+//! * [`convex_hull`] — Andrew's monotone chain.
+//!
+//! # Floating-point policy
+//!
+//! Containment in the interference model is the *closed* predicate
+//! `|uv| <= r_u` where `r_u` is itself a copy of some pairwise `dist()`
+//! result. All radius-containment predicates therefore compare at
+//! **distance level** (`dist(p, c) <= r`, no epsilon, no re-squaring): a
+//! radius copied from a distance then compares equal to that distance
+//! bit-for-bit, so a node's farthest neighbor is always inside its disk.
+//! (Comparing squared distances against `r*r` would break this — squaring
+//! the correctly-rounded square root does not round-trip.) Squared
+//! distances remain fine for *relative* comparisons such as
+//! nearest-neighbor searches, where both sides are raw `dist_sq` values.
+
+// Node ids double as indices throughout this workspace; indexed loops
+// over `0..n` mirror the paper's notation and often touch several arrays.
+#![allow(clippy::needless_range_loop)]
+
+pub mod bbox;
+pub mod closest_pair;
+pub mod delaunay;
+pub mod disk;
+pub mod grid;
+pub mod hull;
+pub mod kdtree;
+pub mod point;
+
+pub use bbox::Aabb;
+pub use closest_pair::{closest_pair, closest_pair_brute_force};
+pub use delaunay::{delaunay, Delaunay};
+pub use disk::Disk;
+pub use grid::UniformGrid;
+pub use hull::convex_hull;
+pub use kdtree::KdTree;
+pub use point::Point;

@@ -1,0 +1,97 @@
+//! Property-based tests: the fast geometric structures must agree with
+//! their brute-force counterparts on arbitrary inputs.
+
+use proptest::prelude::*;
+use rim_geom::{closest_pair, closest_pair_brute_force, convex_hull, KdTree, Point, UniformGrid};
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    proptest::collection::vec(arb_point(), 0..max)
+}
+
+fn brute_disk(points: &[Point], c: Point, r: f64) -> Vec<usize> {
+    (0..points.len())
+        .filter(|&i| points[i].dist(&c) <= r)
+        .collect()
+}
+
+proptest! {
+    #[test]
+    fn grid_disk_query_matches_brute_force(
+        pts in arb_points(60),
+        q in arb_point(),
+        r in 0.0f64..5.0,
+        cell in 0.05f64..3.0,
+    ) {
+        let grid = UniformGrid::build(&pts, cell);
+        let mut got = grid.query_disk(q, r);
+        got.sort_unstable();
+        prop_assert_eq!(got, brute_disk(&pts, q, r));
+    }
+
+    #[test]
+    fn kdtree_disk_query_matches_brute_force(
+        pts in arb_points(60),
+        q in arb_point(),
+        r in 0.0f64..5.0,
+    ) {
+        let tree = KdTree::build(&pts);
+        prop_assert_eq!(tree.query_disk(q, r), brute_disk(&pts, q, r));
+    }
+
+    #[test]
+    fn kdtree_nearest_matches_brute_force(pts in arb_points(60), q in arb_point()) {
+        let tree = KdTree::build(&pts);
+        let got = tree.nearest(q, usize::MAX);
+        let want = (0..pts.len()).map(|i| pts[i].dist_sq(&q)).min_by(f64::total_cmp);
+        match (got, want) {
+            (None, None) => {}
+            (Some(i), Some(d)) => prop_assert_eq!(pts[i].dist_sq(&q), d),
+            _ => prop_assert!(false, "one of fast/brute found a point, the other did not"),
+        }
+    }
+
+    #[test]
+    fn grid_nearest_matches_brute_force(pts in arb_points(40), q in arb_point(), cell in 0.05f64..3.0) {
+        let grid = UniformGrid::build(&pts, cell);
+        let got = grid.nearest(q, usize::MAX);
+        let want = (0..pts.len()).map(|i| pts[i].dist_sq(&q)).min_by(f64::total_cmp);
+        match (got, want) {
+            (None, None) => {}
+            (Some(i), Some(d)) => prop_assert_eq!(pts[i].dist_sq(&q), d),
+            _ => prop_assert!(false, "grid and brute force disagree on existence"),
+        }
+    }
+
+    #[test]
+    fn closest_pair_matches_brute_force(pts in arb_points(80)) {
+        let fast = closest_pair(&pts);
+        let brute = closest_pair_brute_force(&pts);
+        match (fast, brute) {
+            (None, None) => {}
+            (Some((_, _, df)), Some((_, _, db))) => prop_assert_eq!(df, db),
+            _ => prop_assert!(false, "existence mismatch"),
+        }
+    }
+
+    #[test]
+    fn hull_contains_all_points(pts in arb_points(50)) {
+        let hull = convex_hull(&pts);
+        if hull.len() >= 3 {
+            // Every input point must lie inside or on the hull polygon:
+            // cross products with every CCW edge must be >= -eps (exactly
+            // zero up to f64 rounding of the cross product itself).
+            for p in &pts {
+                for k in 0..hull.len() {
+                    let a = pts[hull[k]];
+                    let b = pts[hull[(k + 1) % hull.len()]];
+                    prop_assert!(Point::cross(&a, &b, p) >= -1e-9,
+                        "point {:?} outside hull edge {:?}->{:?}", p, a, b);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! A compact undirected graph over vertices `0..n`.
+
+use crate::edge::Edge;
+
+/// An undirected graph with weighted edges, stored as per-vertex
+/// neighbor lists.
+///
+/// Vertices are `0..n`. Parallel edges are rejected, self-loops are
+/// forbidden. Neighbor lists are kept sorted by neighbor index, which makes
+/// iteration deterministic and membership queries `O(log deg)`.
+#[derive(Debug, Clone, Default)]
+pub struct AdjacencyList {
+    /// `adj[u]` is sorted by neighbor index.
+    adj: Vec<Vec<(u32, f64)>>,
+    num_edges: usize,
+}
+
+impl AdjacencyList {
+    /// Creates an empty graph with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize, "too many vertices");
+        AdjacencyList {
+            adj: vec![Vec::new(); n],
+            num_edges: 0,
+        }
+    }
+
+    /// Builds a graph from an edge list. Duplicate edges are rejected with
+    /// a panic (they indicate a bug in a topology constructor).
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Self {
+        let mut g = AdjacencyList::new(n);
+        for e in edges {
+            assert!(
+                g.add_edge(e.u, e.v, e.weight),
+                "duplicate edge {:?}",
+                e.pair()
+            );
+        }
+        g
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Inserts edge `{u, v}`; returns `false` if it already exists.
+    pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> bool {
+        assert!(u != v, "self-loop at {u}");
+        assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
+        let pos_u = match self.adj[u].binary_search_by_key(&(v as u32), |&(w, _)| w) {
+            Ok(_) => return false,
+            Err(p) => p,
+        };
+        self.adj[u].insert(pos_u, (v as u32, weight));
+        let pos_v = self.adj[v]
+            .binary_search_by_key(&(u as u32), |&(w, _)| w)
+            .unwrap_err();
+        self.adj[v].insert(pos_v, (u as u32, weight));
+        self.num_edges += 1;
+        true
+    }
+
+    /// Removes edge `{u, v}`; returns `false` if it was absent.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        let Ok(pos_u) = self.adj[u].binary_search_by_key(&(v as u32), |&(w, _)| w) else {
+            return false;
+        };
+        self.adj[u].remove(pos_u);
+        let pos_v = self.adj[v]
+            .binary_search_by_key(&(u as u32), |&(w, _)| w)
+            .expect("asymmetric adjacency");
+        self.adj[v].remove(pos_v);
+        self.num_edges -= 1;
+        true
+    }
+
+    /// Returns `true` if edge `{u, v}` exists.
+    #[inline]
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.adj[u]
+            .binary_search_by_key(&(v as u32), |&(w, _)| w)
+            .is_ok()
+    }
+
+    /// Weight of edge `{u, v}` if present.
+    pub fn edge_weight(&self, u: usize, v: usize) -> Option<f64> {
+        self.adj[u]
+            .binary_search_by_key(&(v as u32), |&(w, _)| w)
+            .ok()
+            .map(|p| self.adj[u][p].1)
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: usize) -> usize {
+        self.adj[u].len()
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        self.adj.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Iterates over the neighbors of `u` in ascending index order.
+    #[inline]
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[u].iter().map(|&(v, _)| v as usize)
+    }
+
+    /// Iterates over `(neighbor, weight)` pairs of `u`.
+    #[inline]
+    pub fn neighbors_weighted(&self, u: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.adj[u].iter().map(|&(v, w)| (v as usize, w))
+    }
+
+    /// Collects all edges, each once, sorted by `(u, v)`.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges);
+        for u in 0..self.adj.len() {
+            for &(v, w) in &self.adj[u] {
+                if (v as usize) > u {
+                    out.push(Edge::new(u, v as usize, w));
+                }
+            }
+        }
+        out
+    }
+
+    /// Largest incident edge weight of `u`, or `None` if isolated.
+    ///
+    /// In the interference model this is exactly the transmission radius
+    /// `r_u` induced by a topology.
+    pub fn max_incident_weight(&self, u: usize) -> Option<f64> {
+        self.adj[u]
+            .iter()
+            .map(|&(_, w)| w)
+            .max_by(f64::total_cmp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_query_edges() {
+        let mut g = AdjacencyList::new(4);
+        assert!(g.add_edge(0, 1, 1.0));
+        assert!(g.add_edge(2, 1, 0.5));
+        assert!(!g.add_edge(1, 0, 9.0), "duplicate rejected");
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(1, 2) && g.has_edge(2, 1));
+        assert!(!g.has_edge(0, 3));
+        assert_eq!(g.edge_weight(0, 1), Some(1.0));
+        assert_eq!(g.edge_weight(0, 2), None);
+        assert_eq!(g.degree(1), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn remove_edges() {
+        let mut g = AdjacencyList::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 2.0);
+        assert!(g.remove_edge(1, 0));
+        assert!(!g.remove_edge(0, 1));
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn edges_are_listed_once_in_order() {
+        let g = AdjacencyList::from_edges(
+            4,
+            &[
+                Edge::new(3, 2, 1.0),
+                Edge::new(0, 1, 2.0),
+                Edge::new(1, 3, 0.25),
+            ],
+        );
+        let pairs: Vec<_> = g.edges().iter().map(Edge::pair).collect();
+        assert_eq!(pairs, vec![(0, 1), (1, 3), (2, 3)]);
+    }
+
+    #[test]
+    fn max_incident_weight_is_radius() {
+        let mut g = AdjacencyList::new(3);
+        g.add_edge(0, 1, 0.3);
+        g.add_edge(0, 2, 0.7);
+        assert_eq!(g.max_incident_weight(0), Some(0.7));
+        assert_eq!(g.max_incident_weight(1), Some(0.3));
+        let lonely = AdjacencyList::new(1);
+        assert_eq!(lonely.max_incident_weight(0), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn self_loops_are_rejected() {
+        AdjacencyList::new(2).add_edge(1, 1, 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_edges_rejects_duplicates() {
+        AdjacencyList::from_edges(3, &[Edge::new(0, 1, 1.0), Edge::new(1, 0, 1.0)]);
+    }
+}

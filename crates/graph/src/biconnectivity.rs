@@ -1,0 +1,194 @@
+//! Bridges and articulation points (Tarjan's low-link DFS).
+//!
+//! Topology control trades redundancy for interference: a spanning tree
+//! minimizes edges (and often interference) but every edge is a bridge
+//! and every internal node a cut vertex. These helpers quantify that
+//! trade-off for the experiment reports.
+
+use crate::adjacency::AdjacencyList;
+
+/// Result of a biconnectivity analysis.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Biconnectivity {
+    /// Bridge edges `(u, v)` with `u < v`, sorted.
+    pub bridges: Vec<(usize, usize)>,
+    /// Articulation (cut) vertices, sorted.
+    pub cut_vertices: Vec<usize>,
+}
+
+/// Computes all bridges and articulation points (iterative DFS, safe for
+/// deep graphs).
+pub fn biconnectivity(g: &AdjacencyList) -> Biconnectivity {
+    let n = g.num_vertices();
+    let mut disc = vec![usize::MAX; n];
+    let mut low = vec![usize::MAX; n];
+    let mut parent = vec![usize::MAX; n];
+    let mut bridges = Vec::new();
+    let mut is_cut = vec![false; n];
+    let mut timer = 0usize;
+
+    for root in 0..n {
+        if disc[root] != usize::MAX {
+            continue;
+        }
+        // Iterative DFS with explicit neighbor cursors.
+        let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+        disc[root] = timer;
+        low[root] = timer;
+        timer += 1;
+        let mut root_children = 0usize;
+
+        while !stack.is_empty() {
+            let (u, cursor) = {
+                let frame = stack.last_mut().expect("non-empty stack");
+                let snapshot = *frame;
+                frame.1 += 1;
+                snapshot
+            };
+            if let Some(v) = g.neighbors(u).nth(cursor) {
+                if disc[v] == usize::MAX {
+                    parent[v] = u;
+                    disc[v] = timer;
+                    low[v] = timer;
+                    timer += 1;
+                    if u == root {
+                        root_children += 1;
+                    }
+                    stack.push((v, 0));
+                } else if v != parent[u] {
+                    low[u] = low[u].min(disc[v]);
+                }
+            } else {
+                stack.pop();
+                if let Some(&(p, _)) = stack.last() {
+                    low[p] = low[p].min(low[u]);
+                    if low[u] > disc[p] {
+                        bridges.push((p.min(u), p.max(u)));
+                    }
+                    if p != root && low[u] >= disc[p] {
+                        is_cut[p] = true;
+                    }
+                }
+            }
+        }
+        if root_children >= 2 {
+            is_cut[root] = true;
+        }
+    }
+
+    bridges.sort_unstable();
+    Biconnectivity {
+        bridges,
+        cut_vertices: (0..n).filter(|&v| is_cut[v]).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn graph(n: usize, pairs: &[(usize, usize)]) -> AdjacencyList {
+        let edges: Vec<Edge> = pairs.iter().map(|&(u, v)| Edge::new(u, v, 1.0)).collect();
+        AdjacencyList::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn every_tree_edge_is_a_bridge() {
+        let g = graph(5, &[(0, 1), (1, 2), (2, 3), (2, 4)]);
+        let b = biconnectivity(&g);
+        assert_eq!(b.bridges, vec![(0, 1), (1, 2), (2, 3), (2, 4)]);
+        assert_eq!(b.cut_vertices, vec![1, 2]);
+    }
+
+    #[test]
+    fn cycles_have_no_bridges() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3), (0, 3)]);
+        let b = biconnectivity(&g);
+        assert!(b.bridges.is_empty());
+        assert!(b.cut_vertices.is_empty());
+    }
+
+    #[test]
+    fn barbell_bridge() {
+        // Two triangles joined by one edge: that edge is the only bridge,
+        // its endpoints are cut vertices.
+        let g = graph(
+            6,
+            &[(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)],
+        );
+        let b = biconnectivity(&g);
+        assert_eq!(b.bridges, vec![(2, 3)]);
+        assert_eq!(b.cut_vertices, vec![2, 3]);
+    }
+
+    #[test]
+    fn disconnected_components_are_analyzed_independently() {
+        let g = graph(5, &[(0, 1), (2, 3), (3, 4)]);
+        let b = biconnectivity(&g);
+        assert_eq!(b.bridges, vec![(0, 1), (2, 3), (3, 4)]);
+        assert_eq!(b.cut_vertices, vec![3]);
+    }
+
+    #[test]
+    fn brute_force_cross_check() {
+        // Remove each edge / vertex and compare component counts.
+        let mut state = 77u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        for trial in 0..10 {
+            let n = 8;
+            let mut g = AdjacencyList::new(n);
+            for _ in 0..12 {
+                let (a, b) = (rnd() % n, rnd() % n);
+                if a != b && !g.has_edge(a, b) {
+                    g.add_edge(a, b, 1.0);
+                }
+            }
+            let bc = biconnectivity(&g);
+            let base = crate::traversal::num_components(&g);
+            // Bridges: removal increases component count.
+            for e in g.edges() {
+                let mut h = g.clone();
+                h.remove_edge(e.u, e.v);
+                let is_bridge = crate::traversal::num_components(&h) > base;
+                assert_eq!(
+                    bc.bridges.contains(&(e.u, e.v)),
+                    is_bridge,
+                    "trial={trial} edge={:?}",
+                    e.pair()
+                );
+            }
+            // Cut vertices: removing the vertex's edges splits its
+            // component (beyond the vertex itself becoming isolated).
+            for v in 0..n {
+                if g.degree(v) == 0 {
+                    continue;
+                }
+                let mut h = g.clone();
+                let ns: Vec<usize> = h.neighbors(v).collect();
+                for w in ns {
+                    h.remove_edge(v, w);
+                }
+                // After isolating v, components = base + (#new splits);
+                // v itself adds one (it was connected, now isolated).
+                let after = crate::traversal::num_components(&h);
+                let is_cut = after > base + 1;
+                assert_eq!(
+                    bc.cut_vertices.contains(&v),
+                    is_cut,
+                    "trial={trial} vertex={v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let b = biconnectivity(&AdjacencyList::new(0));
+        assert!(b.bridges.is_empty());
+        assert!(b.cut_vertices.is_empty());
+    }
+}

@@ -1,0 +1,142 @@
+//! Minimum spanning trees and forests.
+//!
+//! The Euclidean MST is one of the classic topology-control baselines the
+//! paper measures against (it contains the Nearest Neighbor Forest, so
+//! Theorem 4.1 applies to it). Kruskal over a deterministic edge order is
+//! the reference implementation; Prim is provided for dense graphs.
+
+use crate::adjacency::AdjacencyList;
+use crate::edge::Edge;
+use crate::union_find::UnionFind;
+
+/// Computes a minimum spanning forest of the given edge set over `n`
+/// vertices (Kruskal). Returns the chosen edges sorted by weight.
+///
+/// Ties are broken by the deterministic [`Edge`] order, so the result is a
+/// function of the input set only.
+pub fn kruskal(n: usize, edges: &[Edge]) -> Vec<Edge> {
+    let mut sorted: Vec<Edge> = edges.to_vec();
+    sorted.sort_unstable();
+    let mut uf = UnionFind::new(n);
+    let mut out = Vec::with_capacity(n.saturating_sub(1));
+    for e in sorted {
+        if uf.union(e.u, e.v) {
+            out.push(e);
+            if out.len() + 1 == n {
+                break;
+            }
+        }
+    }
+    out
+}
+
+/// Computes a minimum spanning forest of an adjacency-list graph (Prim,
+/// run from every unvisited vertex). Returns the chosen edges.
+pub fn prim(g: &AdjacencyList) -> Vec<Edge> {
+    let n = g.num_vertices();
+    let mut in_tree = vec![false; n];
+    let mut out = Vec::with_capacity(n.saturating_sub(1));
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<Edge>> =
+        std::collections::BinaryHeap::new();
+    for start in 0..n {
+        if in_tree[start] {
+            continue;
+        }
+        in_tree[start] = true;
+        for (v, w) in g.neighbors_weighted(start) {
+            heap.push(std::cmp::Reverse(Edge::new(start, v, w)));
+        }
+        while let Some(std::cmp::Reverse(e)) = heap.pop() {
+            let next = if !in_tree[e.u] {
+                e.u
+            } else if !in_tree[e.v] {
+                e.v
+            } else {
+                continue;
+            };
+            in_tree[next] = true;
+            out.push(e);
+            for (v, w) in g.neighbors_weighted(next) {
+                if !in_tree[v] {
+                    heap.push(std::cmp::Reverse(Edge::new(next, v, w)));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Total weight of an edge set.
+pub fn total_weight(edges: &[Edge]) -> f64 {
+    edges.iter().map(|e| e.weight).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traversal::is_connected;
+
+    fn complete_graph(weights: &[(usize, usize, f64)], n: usize) -> (Vec<Edge>, AdjacencyList) {
+        let edges: Vec<Edge> = weights.iter().map(|&(u, v, w)| Edge::new(u, v, w)).collect();
+        let g = AdjacencyList::from_edges(n, &edges);
+        (edges, g)
+    }
+
+    #[test]
+    fn kruskal_small_known_mst() {
+        let (edges, _) = complete_graph(
+            &[
+                (0, 1, 1.0),
+                (1, 2, 2.0),
+                (0, 2, 2.5),
+                (2, 3, 0.5),
+                (1, 3, 3.0),
+            ],
+            4,
+        );
+        let mst = kruskal(4, &edges);
+        assert_eq!(mst.len(), 3);
+        assert_eq!(total_weight(&mst), 3.5);
+    }
+
+    #[test]
+    fn prim_matches_kruskal_weight() {
+        // Pseudo-random dense graph.
+        let mut state = 123u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let n = 30;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push(Edge::new(u, v, rnd()));
+            }
+        }
+        let g = AdjacencyList::from_edges(n, &edges);
+        let k = kruskal(n, &edges);
+        let p = prim(&g);
+        assert_eq!(k.len(), n - 1);
+        assert_eq!(p.len(), n - 1);
+        assert!((total_weight(&k) - total_weight(&p)).abs() < 1e-12);
+        let kg = AdjacencyList::from_edges(n, &k);
+        assert!(is_connected(&kg));
+    }
+
+    #[test]
+    fn forest_on_disconnected_input() {
+        let edges = vec![Edge::new(0, 1, 1.0), Edge::new(2, 3, 1.0)];
+        let mst = kruskal(4, &edges);
+        assert_eq!(mst.len(), 2);
+        let g = AdjacencyList::from_edges(4, &edges);
+        assert_eq!(prim(&g).len(), 2);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(kruskal(0, &[]).is_empty());
+        assert!(kruskal(5, &[]).is_empty());
+        assert!(prim(&AdjacencyList::new(3)).is_empty());
+    }
+}

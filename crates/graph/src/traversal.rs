@@ -1,0 +1,184 @@
+//! Breadth/depth-first traversal, components and connectivity.
+
+use crate::adjacency::AdjacencyList;
+
+/// Vertices reachable from `start` in BFS order.
+pub fn bfs_order(g: &AdjacencyList, start: usize) -> Vec<usize> {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    visited[start] = true;
+    queue.push_back(start);
+    while let Some(u) = queue.pop_front() {
+        order.push(u);
+        for v in g.neighbors(u) {
+            if !visited[v] {
+                visited[v] = true;
+                queue.push_back(v);
+            }
+        }
+    }
+    order
+}
+
+/// Vertices reachable from `start` in iterative DFS (preorder).
+pub fn dfs_order(g: &AdjacencyList, start: usize) -> Vec<usize> {
+    let mut visited = vec![false; g.num_vertices()];
+    let mut stack = vec![start];
+    let mut order = Vec::new();
+    while let Some(u) = stack.pop() {
+        if visited[u] {
+            continue;
+        }
+        visited[u] = true;
+        order.push(u);
+        // Push in reverse so smaller neighbors are visited first.
+        let mut ns: Vec<usize> = g.neighbors(u).collect();
+        ns.reverse();
+        for v in ns {
+            if !visited[v] {
+                stack.push(v);
+            }
+        }
+    }
+    order
+}
+
+/// Component label for every vertex; labels are `0..k` in order of first
+/// appearance (vertex 0 is always in component 0 when `n > 0`).
+pub fn components(g: &AdjacencyList) -> Vec<usize> {
+    let n = g.num_vertices();
+    let mut label = vec![usize::MAX; n];
+    let mut next = 0;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        label[s] = next;
+        queue.push_back(s);
+        while let Some(u) = queue.pop_front() {
+            for v in g.neighbors(u) {
+                if label[v] == usize::MAX {
+                    label[v] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    label
+}
+
+/// Number of connected components (0 for the empty graph).
+pub fn num_components(g: &AdjacencyList) -> usize {
+    components(g).iter().max().map_or(0, |m| m + 1)
+}
+
+/// Returns `true` if the graph is connected. The empty graph and the
+/// single-vertex graph are connected by convention.
+pub fn is_connected(g: &AdjacencyList) -> bool {
+    num_components(g) <= 1
+}
+
+/// Returns `true` if the subgraph `sub` connects exactly what `reference`
+/// connects: two vertices are in the same `sub`-component iff they are in
+/// the same `reference`-component.
+///
+/// This is the *connectivity preservation* requirement of the paper: a
+/// topology-control output must keep every connected component of the UDG
+/// connected (it cannot create new connections since it is a subgraph, but
+/// we verify both directions to catch constructor bugs).
+pub fn preserves_connectivity(reference: &AdjacencyList, sub: &AdjacencyList) -> bool {
+    assert_eq!(reference.num_vertices(), sub.num_vertices());
+    let a = components(reference);
+    let b = components(sub);
+    // Same-component in reference must imply same-component in sub and
+    // vice versa; since labels are normalized by first appearance, the two
+    // labelings must be identical as partitions.
+    let n = a.len();
+    let mut map_ab = vec![usize::MAX; n];
+    let mut map_ba = vec![usize::MAX; n];
+    for i in 0..n {
+        let (x, y) = (a[i], b[i]);
+        if map_ab[x] == usize::MAX {
+            map_ab[x] = y;
+        } else if map_ab[x] != y {
+            return false;
+        }
+        if map_ba[y] == usize::MAX {
+            map_ba[y] = x;
+        } else if map_ba[y] != x {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edge::Edge;
+
+    fn path(n: usize) -> AdjacencyList {
+        let edges: Vec<Edge> = (1..n).map(|i| Edge::new(i - 1, i, 1.0)).collect();
+        AdjacencyList::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn bfs_visits_in_level_order() {
+        // Star with center 0.
+        let g = AdjacencyList::from_edges(
+            4,
+            &[Edge::new(0, 1, 1.0), Edge::new(0, 2, 1.0), Edge::new(0, 3, 1.0)],
+        );
+        assert_eq!(bfs_order(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_order(&g, 2), vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn dfs_preorder_on_path() {
+        let g = path(5);
+        assert_eq!(dfs_order(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(dfs_order(&g, 2), vec![2, 1, 0, 3, 4]);
+    }
+
+    #[test]
+    fn components_and_connectivity() {
+        let mut g = path(4); // 0-1-2-3
+        assert!(is_connected(&g));
+        assert_eq!(num_components(&g), 1);
+        g.remove_edge(1, 2);
+        assert!(!is_connected(&g));
+        assert_eq!(components(&g), vec![0, 0, 1, 1]);
+        assert_eq!(num_components(&g), 2);
+    }
+
+    #[test]
+    fn empty_and_singleton_are_connected() {
+        assert!(is_connected(&AdjacencyList::new(0)));
+        assert!(is_connected(&AdjacencyList::new(1)));
+        assert!(!is_connected(&AdjacencyList::new(2)));
+    }
+
+    #[test]
+    fn connectivity_preservation() {
+        // Reference: two components {0,1,2} and {3,4}.
+        let reference = AdjacencyList::from_edges(
+            5,
+            &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(0, 2, 1.0), Edge::new(3, 4, 1.0)],
+        );
+        // Spanning forest of the same components.
+        let good = AdjacencyList::from_edges(5, &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(3, 4, 1.0)]);
+        assert!(preserves_connectivity(&reference, &good));
+        // Dropping an edge splits {0,1,2}.
+        let bad = AdjacencyList::from_edges(5, &[Edge::new(0, 1, 1.0), Edge::new(3, 4, 1.0)]);
+        assert!(!preserves_connectivity(&reference, &bad));
+        // Connecting the two reference components is also a violation.
+        let merged = AdjacencyList::from_edges(
+            5,
+            &[Edge::new(0, 1, 1.0), Edge::new(1, 2, 1.0), Edge::new(2, 3, 1.0), Edge::new(3, 4, 1.0)],
+        );
+        assert!(!preserves_connectivity(&reference, &merged));
+    }
+}

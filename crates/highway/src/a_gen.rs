@@ -1,0 +1,209 @@
+//! Algorithm `A_gen` — segments and hubs (Section 5.2, Figure 9).
+//!
+//! `A_gen` partitions the highway into segments of unit length (the
+//! maximum transmission range). Within a segment every `⌈√Δ⌉`-th node is
+//! nominated a *hub* (the rightmost node of the segment as well); hubs
+//! are connected linearly, and every regular node connects to the nearest
+//! of the two hubs delimiting its interval. Consecutive non-empty
+//! segments are joined by one link between their facing boundary nodes.
+//! Theorem 5.4: the result has interference `O(√Δ)` for **any** node
+//! distribution.
+
+use crate::instance::HighwayInstance;
+use rim_graph::AdjacencyList;
+use rim_udg::Topology;
+
+/// Result of running [`a_gen`].
+#[derive(Debug, Clone)]
+pub struct AGenResult {
+    /// The constructed topology.
+    pub topology: Topology,
+    /// Hub node indices, ascending.
+    pub hubs: Vec<usize>,
+    /// Segments as index ranges `[start, end)` into the sorted node
+    /// order (only non-empty segments are listed).
+    pub segments: Vec<(usize, usize)>,
+    /// The hub spacing used (`⌈√Δ⌉` unless overridden).
+    pub spacing: usize,
+}
+
+/// Runs `A_gen` with the paper's hub spacing `⌈√Δ⌉`.
+pub fn a_gen(instance: &HighwayInstance) -> AGenResult {
+    let delta = instance.max_degree();
+    let spacing = (delta as f64).sqrt().ceil().max(1.0) as usize;
+    a_gen_with_spacing(instance, spacing)
+}
+
+/// Runs `A_gen` with an explicit hub spacing (exposed for the ablation
+/// experiment; the paper's choice is `⌈√Δ⌉`).
+pub fn a_gen_with_spacing(instance: &HighwayInstance, spacing: usize) -> AGenResult {
+    assert!(spacing >= 1, "hub spacing must be positive");
+    let n = instance.len();
+    let nodes = instance.node_set();
+    if n == 0 {
+        return AGenResult {
+            topology: Topology::empty(nodes),
+            hubs: Vec::new(),
+            segments: Vec::new(),
+            spacing,
+        };
+    }
+
+    // Partition the sorted nodes into unit-length segments anchored at
+    // the leftmost node.
+    let x0 = instance.x(0);
+    let mut segments: Vec<(usize, usize)> = Vec::new();
+    let mut start = 0usize;
+    let mut seg_id = 0usize;
+    for i in 0..n {
+        let id = (instance.x(i) - x0).floor() as usize;
+        if id != seg_id {
+            segments.push((start, i));
+            start = i;
+            seg_id = id;
+        }
+    }
+    segments.push((start, n));
+
+    let mut g = AdjacencyList::new(n);
+    let mut hubs: Vec<usize> = Vec::new();
+    let link = |g: &mut AdjacencyList, a: usize, b: usize| {
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b, nodes.dist(a, b));
+        }
+    };
+
+    for &(s, e) in &segments {
+        // Hubs: every `spacing`-th node from the left, plus the rightmost.
+        let mut seg_hubs: Vec<usize> = (s..e).step_by(spacing).collect();
+        if *seg_hubs.last().unwrap() != e - 1 {
+            seg_hubs.push(e - 1);
+        }
+        // Hubs linearly connected.
+        for w in seg_hubs.windows(2) {
+            link(&mut g, w[0], w[1]);
+        }
+        // Regular nodes connect to the nearest delimiting hub
+        // (ties towards the left hub).
+        for w in seg_hubs.windows(2) {
+            let (hl, hr) = (w[0], w[1]);
+            for v in (hl + 1)..hr {
+                let dl = instance.x(v) - instance.x(hl);
+                let dr = instance.x(hr) - instance.x(v);
+                link(&mut g, v, if dl <= dr { hl } else { hr });
+            }
+        }
+        hubs.extend(seg_hubs);
+    }
+
+    // Join consecutive segments whose boundary nodes are in range; a
+    // larger boundary gap means the UDG itself is disconnected there.
+    for w in segments.windows(2) {
+        let (left_end, right_start) = (w[0].1 - 1, w[1].0);
+        if instance.x(right_start) - instance.x(left_end) <= 1.0 {
+            link(&mut g, left_end, right_start);
+        }
+    }
+
+    hubs.sort_unstable();
+    hubs.dedup();
+    AGenResult {
+        topology: Topology::from_graph(nodes, g),
+        hubs,
+        segments,
+        spacing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exponential::exponential_chain;
+    use rim_core::receiver::graph_interference;
+
+    fn pseudo_uniform(n: usize, span: f64, seed: u64) -> HighwayInstance {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        HighwayInstance::new((0..n).map(|_| rnd() * span).collect())
+    }
+
+    #[test]
+    fn preserves_connectivity_on_random_instances() {
+        for seed in 1..6u64 {
+            let h = pseudo_uniform(120, 5.0, seed);
+            let r = a_gen(&h);
+            assert!(r.topology.preserves_connectivity_of(&h.udg()), "seed={seed}");
+            assert!(r.topology.respects_range(1.0), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn interference_is_order_sqrt_delta() {
+        // Theorem 5.4: I(A_gen) ∈ O(√Δ). Lemma 5.3's constants: at most
+        // ~3 segments contribute, each O(√Δ) hubs + 2·interval regulars.
+        for (n, span, seed) in [(200usize, 2.0, 3u64), (300, 6.0, 4), (150, 1.0, 5)] {
+            let h = pseudo_uniform(n, span, seed);
+            let delta = h.max_degree();
+            let r = a_gen(&h);
+            let i = graph_interference(&r.topology);
+            let bound = 9.0 * (delta as f64).sqrt() + 6.0;
+            assert!(
+                (i as f64) <= bound,
+                "n={n} span={span}: I={i} > 9√Δ+6 = {bound:.1} (Δ={delta})"
+            );
+        }
+    }
+
+    #[test]
+    fn exponential_chain_beats_linear() {
+        let c = exponential_chain(64);
+        let r = a_gen(&c);
+        let i = graph_interference(&r.topology);
+        assert!(i < 62, "A_gen should beat the linear n-2 = 62, got {i}");
+        assert!(r.topology.preserves_connectivity_of(&c.udg()));
+    }
+
+    #[test]
+    fn hubs_include_segment_boundaries() {
+        let h = HighwayInstance::new(vec![0.0, 0.2, 0.4, 0.6, 1.5, 1.7, 1.9]);
+        let r = a_gen_with_spacing(&h, 2);
+        assert_eq!(r.segments, vec![(0, 4), (4, 7)]);
+        // Leftmost and rightmost of each segment are hubs.
+        for &(s, e) in &r.segments {
+            assert!(r.hubs.contains(&s));
+            assert!(r.hubs.contains(&(e - 1)));
+        }
+        // Segments joined by boundary link (gap 0.9 <= 1).
+        assert!(r.topology.graph().has_edge(3, 4));
+    }
+
+    #[test]
+    fn disconnected_instance_stays_disconnected() {
+        let h = HighwayInstance::new(vec![0.0, 0.5, 3.0, 3.5]);
+        let r = a_gen(&h);
+        assert!(r.topology.preserves_connectivity_of(&h.udg()));
+        assert!(!rim_graph::traversal::is_connected(r.topology.graph()));
+    }
+
+    #[test]
+    fn uniform_spacing_one_is_linear_chain() {
+        // spacing 1 within one segment: every node is a hub, hubs are
+        // connected linearly — the chain.
+        let h = HighwayInstance::new(vec![0.0, 0.2, 0.4, 0.6, 0.8]);
+        let r = a_gen_with_spacing(&h, 1);
+        assert_eq!(r.topology.num_edges(), 4);
+        for i in 1..5 {
+            assert!(r.topology.graph().has_edge(i - 1, i));
+        }
+    }
+
+    #[test]
+    fn empty_instance() {
+        let r = a_gen(&HighwayInstance::new(vec![]));
+        assert_eq!(r.topology.num_nodes(), 0);
+        assert!(r.hubs.is_empty());
+    }
+}

@@ -1,0 +1,87 @@
+//! Lower bounds: Theorem 5.2 (`√n` for the exponential chain) and
+//! Lemma 5.5 (`Ω(√γ)` for arbitrary highway instances).
+
+use crate::critical::gamma;
+use crate::instance::HighwayInstance;
+
+/// Theorem 5.2: every connected topology on the exponential node chain
+/// with `n` nodes has interference at least `√n`.
+///
+/// Proof sketch encoded here: with `H` hubs and `S` non-hubs, the
+/// leftmost node sees `|H| − 1` interference (every hub covers it) and
+/// the maximum degree lower-bounds interference, so
+/// `n = |H| + |S| <= I·( I ) + …` forces `I >= √n`.
+pub fn exponential_chain_lower_bound(n: usize) -> f64 {
+    (n as f64).sqrt()
+}
+
+/// Lemma 5.5: a minimum-interference topology for a highway instance with
+/// critical parameter `γ` has interference `Ω(√γ)`; the concrete
+/// certificate from the proof (half the critical nodes form a virtual
+/// exponential node chain, to which Theorem 5.2 applies) is `√(γ/2)`.
+pub fn optimum_lower_bound(instance: &HighwayInstance) -> f64 {
+    (gamma(instance) as f64 / 2.0).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::a_exp::a_exp;
+    use crate::exponential::exponential_chain;
+    use rim_core::optimal::{min_interference_topology, SolverLimits};
+    use rim_core::receiver::graph_interference;
+
+    #[test]
+    fn exact_optimum_respects_theorem_52_bound() {
+        // On small exponential chains the provably-optimal topology must
+        // sit at or above √n (integer interference: ceil).
+        for n in [4usize, 6, 8, 9] {
+            let c = exponential_chain(n);
+            let opt = min_interference_topology(&c.node_set(), 1.0, SolverLimits::default());
+            assert!(opt.optimal, "solver must finish for n={n}");
+            assert!(
+                (opt.interference as f64) >= exponential_chain_lower_bound(n).floor(),
+                "n={n}: opt={} below lower bound {}",
+                opt.interference,
+                exponential_chain_lower_bound(n)
+            );
+        }
+    }
+
+    #[test]
+    fn a_exp_sits_between_the_bounds() {
+        // Theorem 5.1 + 5.2: √n <= I(A_exp) <= √(2n) + 1 — the sandwich
+        // that makes A_exp asymptotically optimal.
+        for n in [9usize, 25, 49, 100, 225] {
+            let c = exponential_chain(n);
+            let i = graph_interference(&a_exp(&c).topology) as f64;
+            let lo = exponential_chain_lower_bound(n);
+            let hi = (2.0 * n as f64).sqrt() + 1.0;
+            assert!(i >= lo.floor(), "n={n}: I={i} below ⌊√n⌋={lo}");
+            assert!(i <= hi, "n={n}: I={i} above √(2n)+1={hi}");
+        }
+    }
+
+    #[test]
+    fn gamma_certificate_never_exceeds_exact_optimum() {
+        // Lemma 5.5's certificate must be a valid lower bound: verify
+        // against the exact solver on assorted small instances.
+        let cases: Vec<Vec<f64>> = vec![
+            vec![0.0, 0.25, 0.5, 0.75, 1.0],
+            vec![0.0, 0.0625, 0.1875, 0.4375, 0.9375], // exponential-ish
+            vec![0.0, 0.01, 0.5, 0.51, 1.0, 1.01],
+            vec![0.0, 0.3, 0.35, 0.4, 1.3, 2.2],
+        ];
+        for xs in cases {
+            let h = HighwayInstance::new(xs.clone());
+            let opt = min_interference_topology(&h.node_set(), 1.0, SolverLimits::default());
+            assert!(opt.optimal);
+            let cert = optimum_lower_bound(&h);
+            assert!(
+                (opt.interference as f64) >= cert.floor() - 1e-9,
+                "instance {xs:?}: opt={} certificate={cert}",
+                opt.interference
+            );
+        }
+    }
+}

@@ -1,0 +1,153 @@
+//! Highway instances: node positions on a line.
+
+use rim_graph::AdjacencyList;
+use rim_udg::udg::unit_disk_graph;
+use rim_udg::{NodeSet, Topology};
+
+/// A highway instance: `n` nodes on the real line, stored sorted
+/// ascending. Node indices follow the left-to-right order, matching the
+/// paper's `v_1 … v_n` numbering (0-based here).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HighwayInstance {
+    xs: Vec<f64>,
+}
+
+impl HighwayInstance {
+    /// Creates an instance from positions (sorted internally).
+    ///
+    /// Panics on non-finite positions.
+    pub fn new(mut xs: Vec<f64>) -> Self {
+        assert!(xs.iter().all(|x| x.is_finite()), "non-finite position");
+        xs.sort_unstable_by(f64::total_cmp);
+        HighwayInstance { xs }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Returns `true` if the instance has no nodes.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// Position of node `i` (ascending in `i`).
+    #[inline]
+    pub fn x(&self, i: usize) -> f64 {
+        self.xs[i]
+    }
+
+    /// All positions, ascending.
+    #[inline]
+    pub fn positions(&self) -> &[f64] {
+        &self.xs
+    }
+
+    /// Gap between consecutive nodes `i` and `i + 1`.
+    #[inline]
+    pub fn gap(&self, i: usize) -> f64 {
+        self.xs[i + 1] - self.xs[i]
+    }
+
+    /// The instance as a 2-D [`NodeSet`] on the x-axis.
+    pub fn node_set(&self) -> NodeSet {
+        NodeSet::on_line(&self.xs)
+    }
+
+    /// The Unit Disk Graph of the instance (range 1).
+    pub fn udg(&self) -> AdjacencyList {
+        unit_disk_graph(&self.node_set())
+    }
+
+    /// Maximum UDG degree `Δ`.
+    pub fn max_degree(&self) -> usize {
+        self.udg().max_degree()
+    }
+
+    /// The linearly connected topology `G_lin`: every node linked to its
+    /// successor. **Requires** every gap to be at most 1 (otherwise the
+    /// link would exceed the transmission range); check with
+    /// [`HighwayInstance::linearly_connectable`].
+    pub fn linear_topology(&self) -> Topology {
+        assert!(
+            self.linearly_connectable(),
+            "a gap exceeds the unit transmission range"
+        );
+        let pairs: Vec<(usize, usize)> = (1..self.len()).map(|i| (i - 1, i)).collect();
+        Topology::from_pairs(self.node_set(), &pairs)
+    }
+
+    /// Returns `true` if all consecutive gaps are within the unit range,
+    /// i.e. `G_lin` is a valid topology and the UDG is connected.
+    pub fn linearly_connectable(&self) -> bool {
+        (0..self.len().saturating_sub(1)).all(|i| self.gap(i) <= 1.0)
+    }
+
+    /// Total span (distance between leftmost and rightmost node).
+    pub fn span(&self) -> f64 {
+        if self.xs.is_empty() {
+            0.0
+        } else {
+            self.xs[self.len() - 1] - self.xs[0]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_core::receiver::graph_interference;
+
+    #[test]
+    fn positions_are_sorted() {
+        let h = HighwayInstance::new(vec![0.5, 0.1, 0.9]);
+        assert_eq!(h.positions(), &[0.1, 0.5, 0.9]);
+        assert_eq!(h.x(0), 0.1);
+        assert!((h.gap(0) - 0.4).abs() < 1e-15);
+        assert!((h.span() - 0.8).abs() < 1e-15);
+    }
+
+    #[test]
+    fn linear_topology_links_consecutive_nodes() {
+        let h = HighwayInstance::new(vec![0.0, 0.3, 0.7, 1.2]);
+        assert!(h.linearly_connectable());
+        let t = h.linear_topology();
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.graph().has_edge(0, 1));
+        assert!(t.graph().has_edge(2, 3));
+        assert!(!t.graph().has_edge(0, 2));
+        assert!(t.is_forest());
+        assert!(t.preserves_connectivity_of(&h.udg()));
+    }
+
+    #[test]
+    fn uniform_chain_linear_interference_is_two() {
+        let h = HighwayInstance::new((0..20).map(|i| i as f64 * 0.5).collect());
+        assert_eq!(graph_interference(&h.linear_topology()), 2);
+    }
+
+    #[test]
+    fn wide_gap_blocks_linear_connection() {
+        let h = HighwayInstance::new(vec![0.0, 2.0]);
+        assert!(!h.linearly_connectable());
+    }
+
+    #[test]
+    fn max_degree_of_dense_segment() {
+        let h = HighwayInstance::new((0..7).map(|i| i as f64 * 0.1).collect());
+        assert_eq!(h.max_degree(), 6); // all mutually in range
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = HighwayInstance::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.span(), 0.0);
+        assert!(e.linearly_connectable());
+        let s = HighwayInstance::new(vec![4.2]);
+        assert_eq!(s.linear_topology().num_edges(), 0);
+    }
+}

@@ -1,0 +1,240 @@
+//! `A_gen2` — an engineering extension of `A_gen` to the plane.
+//!
+//! The paper closes with: *"Adaptation of our approach to higher
+//! dimensions remains an open problem and is left for future work."*
+//! This module is our take on that direction. It carries no theorem —
+//! the `O(√Δ)` analysis of Theorem 5.4 does not transfer verbatim — but
+//! it preserves connectivity by construction and is evaluated
+//! empirically against the 2-D baselines (experiment `X2`).
+//!
+//! Construction (mirroring `A_gen`'s segment/hub/interval structure):
+//!
+//! 1. partition the plane into square cells of side `1/√2`, so any two
+//!    nodes sharing a cell are within mutual range (cell diagonal = 1);
+//! 2. within each cell, nominate every `⌈√Δ⌉`-th node (in lexicographic
+//!    position order) a *hub*, plus the last node; chain the hubs and
+//!    attach every regular node to its nearest hub in the cell;
+//! 3. bridge every pair of cells within Chebyshev cell-distance 2 by the
+//!    closest cross pair, if that pair is within range.
+//!
+//! Connectivity preservation: a UDG edge `{u, v}` has `|uv| <= 1`, so its
+//! endpoint cells are at Chebyshev distance at most 2 and their closest
+//! cross pair (at distance `<= |uv| <= 1`) is bridged; within a cell the
+//! hub chain connects everyone.
+
+use rim_graph::AdjacencyList;
+use rim_udg::udg::unit_disk_graph;
+use rim_udg::{NodeSet, Topology};
+use std::collections::HashMap;
+
+/// Cell side: `1/√2`, so the in-cell diameter is exactly the unit range.
+pub const CELL_SIDE: f64 = std::f64::consts::FRAC_1_SQRT_2;
+
+/// Result of running [`a_gen_2d`].
+#[derive(Debug, Clone)]
+pub struct AGen2dResult {
+    /// The constructed topology.
+    pub topology: Topology,
+    /// Hub node indices, ascending.
+    pub hubs: Vec<usize>,
+    /// Number of occupied cells.
+    pub cells: usize,
+    /// Hub spacing used (`⌈√Δ⌉` unless overridden).
+    pub spacing: usize,
+}
+
+/// Runs `A_gen2` with the `⌈√Δ⌉` hub spacing.
+pub fn a_gen_2d(nodes: &NodeSet) -> AGen2dResult {
+    let udg = unit_disk_graph(nodes);
+    let spacing = (udg.max_degree() as f64).sqrt().ceil().max(1.0) as usize;
+    a_gen_2d_with_spacing(nodes, spacing)
+}
+
+/// Runs `A_gen2` with an explicit hub spacing.
+pub fn a_gen_2d_with_spacing(nodes: &NodeSet, spacing: usize) -> AGen2dResult {
+    assert!(spacing >= 1);
+    let n = nodes.len();
+    let mut g = AdjacencyList::new(n);
+    if n == 0 {
+        return AGen2dResult {
+            topology: Topology::empty(nodes.clone()),
+            hubs: Vec::new(),
+            cells: 0,
+            spacing,
+        };
+    }
+
+    let bbox = nodes.bbox();
+    let cell_of = |i: usize| -> (i64, i64) {
+        let p = nodes.pos(i);
+        (
+            ((p.x - bbox.min.x) / CELL_SIDE).floor() as i64,
+            ((p.y - bbox.min.y) / CELL_SIDE).floor() as i64,
+        )
+    };
+    let mut cells: HashMap<(i64, i64), Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        cells.entry(cell_of(i)).or_default().push(i);
+    }
+    // Deterministic processing order of the cells and their members.
+    let mut cell_keys: Vec<(i64, i64)> = cells.keys().copied().collect();
+    cell_keys.sort_unstable();
+    for members in cells.values_mut() {
+        members.sort_unstable_by(|&a, &b| {
+            nodes.pos(a).lex_cmp(&nodes.pos(b)).then(a.cmp(&b))
+        });
+    }
+
+    let link = |g: &mut AdjacencyList, a: usize, b: usize| {
+        if a != b && !g.has_edge(a, b) {
+            g.add_edge(a, b, nodes.dist(a, b));
+        }
+    };
+
+    let mut hubs: Vec<usize> = Vec::new();
+    for key in &cell_keys {
+        let members = &cells[key];
+        let mut cell_hubs: Vec<usize> = members.iter().copied().step_by(spacing).collect();
+        let last = *members.last().unwrap();
+        if *cell_hubs.last().unwrap() != last {
+            cell_hubs.push(last);
+        }
+        for w in cell_hubs.windows(2) {
+            link(&mut g, w[0], w[1]);
+        }
+        // Regular nodes attach to their nearest hub in the cell.
+        for &v in members {
+            if cell_hubs.contains(&v) {
+                continue;
+            }
+            let h = cell_hubs
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    nodes
+                        .dist_sq(v, a)
+                        .total_cmp(&nodes.dist_sq(v, b))
+                        .then(a.cmp(&b))
+                })
+                .unwrap();
+            link(&mut g, v, h);
+        }
+        hubs.extend(cell_hubs);
+    }
+
+    // Bridges between nearby cells: the closest cross pair, if in range.
+    for (ki, &a) in cell_keys.iter().enumerate() {
+        for &b in &cell_keys[ki + 1..] {
+            if (a.0 - b.0).abs() > 2 || (a.1 - b.1).abs() > 2 {
+                continue;
+            }
+            let mut best: Option<(f64, usize, usize)> = None;
+            for &u in &cells[&a] {
+                for &v in &cells[&b] {
+                    let d = nodes.dist(u, v);
+                    if d <= 1.0 && best.is_none_or(|(bd, bu, bv)| (d, u, v) < (bd, bu, bv)) {
+                        best = Some((d, u, v));
+                    }
+                }
+            }
+            if let Some((_, u, v)) = best {
+                link(&mut g, u, v);
+            }
+        }
+    }
+
+    hubs.sort_unstable();
+    hubs.dedup();
+    AGen2dResult {
+        cells: cell_keys.len(),
+        topology: Topology::from_graph(nodes.clone(), g),
+        hubs,
+        spacing,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_core::receiver::graph_interference;
+    use rim_geom::Point;
+
+    fn random_field(n: usize, side: f64, seed: u64) -> NodeSet {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        NodeSet::new((0..n).map(|_| Point::new(rnd() * side, rnd() * side)).collect())
+    }
+
+    #[test]
+    fn preserves_connectivity_on_random_fields() {
+        for seed in 1..6u64 {
+            let ns = random_field(120, 2.5, seed);
+            let r = a_gen_2d(&ns);
+            let udg = unit_disk_graph(&ns);
+            assert!(r.topology.preserves_connectivity_of(&udg), "seed={seed}");
+            assert!(r.topology.respects_range(1.0));
+        }
+    }
+
+    #[test]
+    fn preserves_connectivity_on_disconnected_fields() {
+        // Two far-apart clusters stay two components.
+        let mut pts = random_field(30, 1.0, 3).points().to_vec();
+        pts.extend(random_field(30, 1.0, 4).points().iter().map(|p| Point::new(p.x + 10.0, p.y)));
+        let ns = NodeSet::new(pts);
+        let r = a_gen_2d(&ns);
+        let udg = unit_disk_graph(&ns);
+        assert!(r.topology.preserves_connectivity_of(&udg));
+        assert!(!rim_graph::traversal::is_connected(r.topology.graph()));
+    }
+
+    #[test]
+    fn interference_tracks_sqrt_delta_empirically() {
+        // No theorem — but on uniform fields the measured interference
+        // should stay within a small multiple of √Δ.
+        for (n, side, seed) in [(200usize, 2.0, 7u64), (400, 2.0, 8)] {
+            let ns = random_field(n, side, seed);
+            let udg = unit_disk_graph(&ns);
+            let delta = udg.max_degree() as f64;
+            let r = a_gen_2d(&ns);
+            let i = graph_interference(&r.topology) as f64;
+            assert!(
+                i <= 14.0 * delta.sqrt() + 8.0,
+                "n={n}: I={i} vs √Δ={:.1}",
+                delta.sqrt()
+            );
+        }
+    }
+
+    #[test]
+    fn dense_single_cell_uses_hub_structure() {
+        let ns = random_field(60, 0.5, 5);
+        let r = a_gen_2d(&ns);
+        assert!(r.cells <= 2, "tiny field should occupy few cells");
+        // Hub count per cell ~ members/spacing + 1.
+        assert!(r.hubs.len() < 60);
+        let udg = unit_disk_graph(&ns);
+        assert!(r.topology.preserves_connectivity_of(&udg));
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let r = a_gen_2d(&NodeSet::new(vec![]));
+        assert_eq!(r.cells, 0);
+        let r = a_gen_2d(&NodeSet::new(vec![Point::new(1.0, 1.0)]));
+        assert_eq!(r.cells, 1);
+        assert_eq!(r.topology.num_edges(), 0);
+    }
+
+    #[test]
+    fn highway_input_degenerates_to_a_gen_like_structure() {
+        // 1-D input through the 2-D construction still works.
+        let ns = NodeSet::on_line(&[0.0, 0.1, 0.2, 0.9, 1.5, 1.6]);
+        let r = a_gen_2d(&ns);
+        let udg = unit_disk_graph(&ns);
+        assert!(r.topology.preserves_connectivity_of(&udg));
+    }
+}

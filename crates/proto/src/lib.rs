@@ -1,0 +1,25 @@
+//! `rim-proto` — localized, message-passing topology control.
+//!
+//! The algorithms the paper discusses are *distributed*: every node acts
+//! on information from its immediate radio neighborhood. This crate makes
+//! that concrete with a synchronous-rounds runtime ([`runtime`]) that
+//! **enforces locality** — a node may only message its UDG neighbors —
+//! and counts rounds and messages, plus protocol implementations:
+//!
+//! * [`xtc_proto`] — the XTC protocol of reference \[19\] (one exchange
+//!   of neighbor rankings, then a purely local decision);
+//! * [`lmst_proto`] — the LMST protocol of reference \[9\] (positions,
+//!   local MST, selection exchange);
+//! * [`nnf_proto`] — nearest-neighbor linking as a protocol.
+//!
+//! Every protocol is tested to produce **exactly** the topology of its
+//! centralized counterpart in `rim-topology-control`, with the message
+//! and round complexity the papers advertise (2 rounds, `O(Δ)` messages
+//! per node).
+
+pub mod lmst_proto;
+pub mod nnf_proto;
+pub mod runtime;
+pub mod xtc_proto;
+
+pub use runtime::{run_protocol, NodeCtx, NodeProtocol, RunStats};

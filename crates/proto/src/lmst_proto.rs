@@ -1,0 +1,141 @@
+//! The LMST protocol (Li, Hou, Sha — INFOCOM 2003) as a message-passing
+//! protocol.
+//!
+//! Round 0: every node beacons its position. Round 1: every node now
+//! knows the positions of its 1-hop neighborhood, computes the Euclidean
+//! MST of `N(u) ∪ {u}` locally (edges of the *induced UDG* on that set —
+//! derivable from positions alone), and keeps its local-MST neighbors.
+//! The symmetric output uses the intersection rule (`G₀⁻`), matching the
+//! centralized [`rim_topology_control::lmst`] with
+//! [`LmstVariant::Intersection`](rim_topology_control::lmst::LmstVariant).
+//!
+//! **Unit-range assumption:** a node reconstructs the induced UDG on its
+//! neighborhood from positions alone, which requires knowing the shared
+//! transmission range; this protocol assumes the standard range 1. Run it
+//! only over UDGs built with `unit_disk_graph` (range 1) — with a
+//! different range the local edge sets, and hence the local MSTs, would
+//! diverge from the centralized result.
+
+use crate::runtime::{NodeCtx, NodeProtocol, Symmetrization};
+use rim_geom::Point;
+use rim_graph::mst::kruskal;
+use rim_graph::Edge;
+
+/// One node's LMST state.
+pub struct LmstNode {
+    /// Neighbor positions learned in round 0.
+    positions: Vec<(usize, Point)>,
+    kept: Vec<usize>,
+}
+
+impl NodeProtocol for LmstNode {
+    type Msg = Point;
+
+    fn init(_: &NodeCtx<'_>) -> Self {
+        LmstNode {
+            positions: Vec::new(),
+            kept: Vec::new(),
+        }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        round: usize,
+        inbox: &[(usize, Point)],
+        outbox: &mut Vec<(usize, Point)>,
+    ) -> bool {
+        match round {
+            0 => {
+                let me = ctx.nodes.pos(ctx.id);
+                for &v in ctx.neighbors {
+                    outbox.push((v, me));
+                }
+                false
+            }
+            _ => {
+                self.positions.extend(inbox.iter().copied());
+                // Local vertex 0 = me; then the heard neighbors in the
+                // same deterministic order the centralized code uses
+                // (ascending global id).
+                self.positions.sort_unstable_by_key(|&(id, _)| id);
+                let me = ctx.nodes.pos(ctx.id);
+                let mut pts: Vec<Point> = vec![me];
+                pts.extend(self.positions.iter().map(|&(_, p)| p));
+                let mut edges = Vec::new();
+                for a in 0..pts.len() {
+                    for b in (a + 1)..pts.len() {
+                        // Induced UDG on the neighborhood: unit range,
+                        // decided from positions alone.
+                        if a == 0 || pts[a].dist(&pts[b]) <= 1.0 {
+                            edges.push(Edge::new(a, b, pts[a].dist(&pts[b])));
+                        }
+                    }
+                }
+                let mst = kruskal(pts.len(), &edges);
+                for e in &mst {
+                    if e.touches(0) {
+                        let local = e.other(0);
+                        self.kept.push(self.positions[local - 1].0);
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    fn kept(&self, _: &NodeCtx<'_>) -> Vec<usize> {
+        self.kept.clone()
+    }
+
+    fn symmetrization() -> Symmetrization {
+        Symmetrization::Intersection
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_protocol;
+    use rim_topology_control::lmst::{lmst, LmstVariant};
+    use rim_udg::udg::unit_disk_graph;
+    use rim_udg::NodeSet;
+
+    fn random_field(n: usize, side: f64, seed: u64) -> NodeSet {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        NodeSet::new(
+            (0..n)
+                .map(|_| Point::new(rnd() * side, rnd() * side))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn protocol_matches_centralized_lmst() {
+        for seed in 1..6u64 {
+            let ns = random_field(50, 2.0, seed);
+            let udg = unit_disk_graph(&ns);
+            let (proto, _) = run_protocol::<LmstNode>(&ns, &udg);
+            let central = lmst(&ns, &udg, LmstVariant::Intersection);
+            assert_eq!(
+                proto.edges(),
+                central.edges(),
+                "seed={seed}: protocol and centralized LMST disagree"
+            );
+        }
+    }
+
+    #[test]
+    fn two_rounds_one_beacon_per_link() {
+        let ns = random_field(40, 1.8, 4);
+        let udg = unit_disk_graph(&ns);
+        let (t, stats) = run_protocol::<LmstNode>(&ns, &udg);
+        assert_eq!(stats.rounds, 2);
+        assert_eq!(stats.messages, 2 * udg.num_edges());
+        assert!(t.preserves_connectivity_of(&udg));
+    }
+}

@@ -1,0 +1,103 @@
+//! Nearest-neighbor linking as a message-passing protocol.
+//!
+//! Round 0: beacon positions. Round 1: every node keeps the link to its
+//! nearest heard neighbor. The undirected forest is the union of the
+//! selections — exactly the Nearest Neighbor Forest that Section 4 of
+//! the paper takes aim at, produced with the minimal distributed effort
+//! (which is precisely why every practical construction contains it).
+
+use crate::runtime::{NodeCtx, NodeProtocol, Symmetrization};
+use rim_geom::Point;
+
+/// One node's NNF state.
+pub struct NnfNode {
+    nearest: Option<usize>,
+}
+
+impl NodeProtocol for NnfNode {
+    type Msg = Point;
+
+    fn init(_: &NodeCtx<'_>) -> Self {
+        NnfNode { nearest: None }
+    }
+
+    fn round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        round: usize,
+        inbox: &[(usize, Point)],
+        outbox: &mut Vec<(usize, Point)>,
+    ) -> bool {
+        match round {
+            0 => {
+                let me = ctx.nodes.pos(ctx.id);
+                for &v in ctx.neighbors {
+                    outbox.push((v, me));
+                }
+                false
+            }
+            _ => {
+                let me = ctx.nodes.pos(ctx.id);
+                self.nearest = inbox
+                    .iter()
+                    .min_by(|(a, pa), (b, pb)| {
+                        pa.dist_sq(&me)
+                            .total_cmp(&pb.dist_sq(&me))
+                            .then(a.cmp(b))
+                    })
+                    .map(|&(v, _)| v);
+                true
+            }
+        }
+    }
+
+    fn kept(&self, _: &NodeCtx<'_>) -> Vec<usize> {
+        self.nearest.into_iter().collect()
+    }
+
+    fn symmetrization() -> Symmetrization {
+        Symmetrization::Union
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runtime::run_protocol;
+    use rim_topology_control::nnf::nearest_neighbor_forest;
+    use rim_udg::udg::unit_disk_graph;
+    use rim_udg::NodeSet;
+
+    fn random_field(n: usize, side: f64, seed: u64) -> NodeSet {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        NodeSet::new(
+            (0..n)
+                .map(|_| Point::new(rnd() * side, rnd() * side))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn protocol_matches_centralized_nnf() {
+        for seed in 1..6u64 {
+            let ns = random_field(45, 2.0, seed);
+            let udg = unit_disk_graph(&ns);
+            let (proto, _) = run_protocol::<NnfNode>(&ns, &udg);
+            let central = nearest_neighbor_forest(&ns, &udg);
+            assert_eq!(proto.edges(), central.edges(), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn isolated_nodes_select_nothing() {
+        let ns = NodeSet::on_line(&[0.0, 5.0]);
+        let udg = unit_disk_graph(&ns);
+        let (t, stats) = run_protocol::<NnfNode>(&ns, &udg);
+        assert_eq!(t.num_edges(), 0);
+        assert_eq!(stats.messages, 0);
+    }
+}

@@ -1,0 +1,245 @@
+//! A synchronous-rounds message-passing runtime with enforced locality.
+//!
+//! Execution model (the standard LOCAL/CONGEST-style abstraction):
+//!
+//! 1. every node runs the same [`NodeProtocol`] state machine;
+//! 2. in each round, every node may send one message to any subset of
+//!    its **UDG neighbors** (messaging a non-neighbor panics — that
+//!    would be cheating on locality);
+//! 3. messages sent in round `r` are delivered at the start of round
+//!    `r + 1`;
+//! 4. the run ends when every node has finished; each node then reports
+//!    the set of neighbors it keeps, and an undirected edge materializes
+//!    according to the protocol's [`Symmetrization`].
+
+use rim_graph::AdjacencyList;
+use rim_udg::{NodeSet, Topology};
+
+/// What a node sees of the world: its id, position, and UDG neighbors
+/// with their positions (radios hear beacons; positions model the
+/// distance estimates every one of these protocols assumes).
+pub struct NodeCtx<'a> {
+    /// This node's id.
+    pub id: usize,
+    /// All node positions (access *only* your own and your neighbors' —
+    /// the runtime hands out the full set for convenience, the protocols
+    /// in this crate touch nothing else).
+    pub nodes: &'a NodeSet,
+    /// Sorted UDG neighbor ids.
+    pub neighbors: &'a [usize],
+}
+
+/// How per-node keep-decisions combine into undirected edges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Symmetrization {
+    /// Edge iff both endpoints keep it.
+    Intersection,
+    /// Edge iff either endpoint keeps it.
+    Union,
+}
+
+/// A node's state machine.
+pub trait NodeProtocol: Sized {
+    /// Message type exchanged between neighbors.
+    type Msg: Clone;
+
+    /// Creates the node's initial state.
+    fn init(ctx: &NodeCtx<'_>) -> Self;
+
+    /// One synchronous round: receive last round's messages (sender id +
+    /// payload), optionally send messages (`(neighbor, payload)`).
+    /// Return `true` when this node is done.
+    fn round(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        round: usize,
+        inbox: &[(usize, Self::Msg)],
+        outbox: &mut Vec<(usize, Self::Msg)>,
+    ) -> bool;
+
+    /// The neighbors this node keeps, once done.
+    fn kept(&self, ctx: &NodeCtx<'_>) -> Vec<usize>;
+
+    /// How the per-node decisions combine.
+    fn symmetrization() -> Symmetrization;
+}
+
+/// Execution statistics of a protocol run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunStats {
+    /// Synchronous rounds until every node finished.
+    pub rounds: usize,
+    /// Total messages delivered.
+    pub messages: usize,
+    /// Maximum messages sent by a single node over the whole run.
+    pub max_node_messages: usize,
+}
+
+/// Runs a protocol over the UDG of `nodes` and materializes the
+/// resulting topology.
+///
+/// Panics if a node messages a non-neighbor (locality violation) or if
+/// the protocol fails to terminate within `4 + n` rounds (all protocols
+/// here are O(1)-round; the bound catches runaways in tests).
+pub fn run_protocol<P: NodeProtocol>(nodes: &NodeSet, udg: &AdjacencyList) -> (Topology, RunStats) {
+    let n = nodes.len();
+    let neighbor_lists: Vec<Vec<usize>> = (0..n).map(|u| udg.neighbors(u).collect()).collect();
+    let ctx = |u: usize| NodeCtx {
+        id: u,
+        nodes,
+        neighbors: &neighbor_lists[u],
+    };
+
+    let mut states: Vec<P> = (0..n).map(|u| P::init(&ctx(u))).collect();
+    let mut done = vec![false; n];
+    let mut inboxes: Vec<Vec<(usize, P::Msg)>> = vec![Vec::new(); n];
+    let mut sent_per_node = vec![0usize; n];
+    let mut messages = 0usize;
+    let mut rounds = 0usize;
+    let max_rounds = 4 + n;
+
+    let mut outbox: Vec<(usize, P::Msg)> = Vec::new();
+    while !done.iter().all(|&d| d) {
+        assert!(rounds < max_rounds, "protocol did not terminate");
+        let mut next_inboxes: Vec<Vec<(usize, P::Msg)>> = vec![Vec::new(); n];
+        for u in 0..n {
+            if done[u] {
+                continue;
+            }
+            outbox.clear();
+            let inbox = std::mem::take(&mut inboxes[u]);
+            done[u] = states[u].round(&ctx(u), rounds, &inbox, &mut outbox);
+            for (v, msg) in outbox.drain(..) {
+                assert!(
+                    neighbor_lists[u].contains(&v),
+                    "locality violation: node {u} messaged non-neighbor {v}"
+                );
+                sent_per_node[u] += 1;
+                messages += 1;
+                next_inboxes[v].push((u, msg));
+            }
+        }
+        inboxes = next_inboxes;
+        rounds += 1;
+    }
+
+    // Materialize the topology from per-node keep sets.
+    let kept: Vec<Vec<usize>> = (0..n).map(|u| states[u].kept(&ctx(u))).collect();
+    for (u, list) in kept.iter().enumerate() {
+        for &v in list {
+            assert!(
+                neighbor_lists[u].contains(&v),
+                "node {u} kept non-neighbor {v}"
+            );
+        }
+    }
+    let mut g = AdjacencyList::new(n);
+    for e in udg.edges() {
+        let u_keeps = kept[e.u].contains(&e.v);
+        let v_keeps = kept[e.v].contains(&e.u);
+        let keep = match P::symmetrization() {
+            Symmetrization::Intersection => u_keeps && v_keeps,
+            Symmetrization::Union => u_keeps || v_keeps,
+        };
+        if keep {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+    }
+    (
+        Topology::from_graph(nodes.clone(), g),
+        RunStats {
+            rounds,
+            messages,
+            max_node_messages: sent_per_node.into_iter().max().unwrap_or(0),
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_udg::udg::unit_disk_graph;
+
+    /// A trivial protocol: keep every neighbor (reproduces the UDG).
+    struct KeepAll;
+    impl NodeProtocol for KeepAll {
+        type Msg = ();
+        fn init(_: &NodeCtx<'_>) -> Self {
+            KeepAll
+        }
+        fn round(&mut self, _: &NodeCtx<'_>, _: usize, _: &[(usize, ())], _: &mut Vec<(usize, ())>) -> bool {
+            true
+        }
+        fn kept(&self, ctx: &NodeCtx<'_>) -> Vec<usize> {
+            ctx.neighbors.to_vec()
+        }
+        fn symmetrization() -> Symmetrization {
+            Symmetrization::Intersection
+        }
+    }
+
+    /// A one-shot gossip: each node pings every neighbor once, then stops.
+    struct PingOnce {
+        pinged: bool,
+        heard: usize,
+    }
+    impl NodeProtocol for PingOnce {
+        type Msg = u8;
+        fn init(_: &NodeCtx<'_>) -> Self {
+            PingOnce { pinged: false, heard: 0 }
+        }
+        fn round(
+            &mut self,
+            ctx: &NodeCtx<'_>,
+            _round: usize,
+            inbox: &[(usize, u8)],
+            outbox: &mut Vec<(usize, u8)>,
+        ) -> bool {
+            self.heard += inbox.len();
+            if !self.pinged {
+                self.pinged = true;
+                outbox.extend(ctx.neighbors.iter().map(|&v| (v, 1u8)));
+                false
+            } else {
+                true
+            }
+        }
+        fn kept(&self, _: &NodeCtx<'_>) -> Vec<usize> {
+            Vec::new()
+        }
+        fn symmetrization() -> Symmetrization {
+            Symmetrization::Union
+        }
+    }
+
+    #[test]
+    fn keep_all_reproduces_the_udg() {
+        let ns = NodeSet::on_line(&[0.0, 0.4, 0.8, 1.9]);
+        let udg = unit_disk_graph(&ns);
+        let (t, stats) = run_protocol::<KeepAll>(&ns, &udg);
+        assert_eq!(t.num_edges(), udg.num_edges());
+        assert_eq!(stats.rounds, 1);
+        assert_eq!(stats.messages, 0);
+    }
+
+    #[test]
+    fn message_accounting() {
+        // A path (node 0 and node 2 are out of mutual range).
+        let ns = NodeSet::on_line(&[0.0, 0.6, 1.2]);
+        let udg = unit_disk_graph(&ns);
+        let (_, stats) = run_protocol::<PingOnce>(&ns, &udg);
+        // Node 1 has two neighbors, nodes 0 and 2 one each: 4 messages.
+        assert_eq!(stats.messages, 4);
+        assert_eq!(stats.max_node_messages, 2);
+        assert_eq!(stats.rounds, 2);
+    }
+
+    #[test]
+    fn empty_network() {
+        let ns = NodeSet::new(vec![]);
+        let udg = unit_disk_graph(&ns);
+        let (t, stats) = run_protocol::<KeepAll>(&ns, &udg);
+        assert_eq!(t.num_nodes(), 0);
+        assert_eq!(stats.rounds, 0);
+    }
+}

@@ -1,0 +1,196 @@
+//! MAC disciplines and per-node MAC state.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// The medium-access discipline every node runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MacConfig {
+    /// `p`-persistent slotted ALOHA: a backlogged node transmits in each
+    /// slot independently with probability `p`. Collided frames stay at
+    /// the head of the queue and are retried forever.
+    SlottedAloha {
+        /// Per-slot transmission probability (`0 < p <= 1`).
+        p: f64,
+    },
+    /// Carrier sense + binary exponential backoff: a backlogged node with
+    /// expired backoff transmits if it sensed the medium idle in the
+    /// previous slot; each failed transmission doubles the backoff window
+    /// (capped at `2^max_backoff_exp`), and a frame is dropped after
+    /// `max_retries` failures.
+    Csma {
+        /// Cap on the backoff exponent.
+        max_backoff_exp: u32,
+        /// Drop threshold for consecutive failures of one frame.
+        max_retries: u32,
+    },
+    /// Conflict-free TDMA: the simulator precomputes a link schedule
+    /// ([`crate::schedule::tdma_schedule`]) for the topology; a node
+    /// transmits exactly when the current frame slot contains the link to
+    /// its head packet's next hop. Collision-free by construction.
+    Tdma,
+}
+
+impl MacConfig {
+    /// A reasonable default ALOHA configuration.
+    pub fn aloha() -> Self {
+        MacConfig::SlottedAloha { p: 0.25 }
+    }
+
+    /// A reasonable default CSMA configuration.
+    pub fn csma() -> Self {
+        MacConfig::Csma {
+            max_backoff_exp: 6,
+            max_retries: 8,
+        }
+    }
+}
+
+/// Per-node MAC state.
+#[derive(Debug, Clone, Default)]
+pub struct MacState {
+    /// Remaining backoff slots (CSMA only).
+    pub backoff: u32,
+    /// Consecutive failures of the head frame (CSMA only).
+    pub retries: u32,
+}
+
+impl MacState {
+    /// Decides whether this node attempts transmission in the current
+    /// slot. `medium_busy` is last slot's carrier-sense verdict.
+    pub fn wants_to_transmit(
+        &mut self,
+        cfg: &MacConfig,
+        has_frame: bool,
+        medium_busy: bool,
+        rng: &mut SmallRng,
+    ) -> bool {
+        if !has_frame {
+            return false;
+        }
+        match *cfg {
+            MacConfig::Tdma => {
+                unreachable!("TDMA transmission decisions are made by the scheduler")
+            }
+            MacConfig::SlottedAloha { p } => rng.gen::<f64>() < p,
+            MacConfig::Csma { .. } => {
+                if self.backoff > 0 {
+                    self.backoff -= 1;
+                    return false;
+                }
+                if medium_busy {
+                    return false;
+                }
+                true
+            }
+        }
+    }
+
+    /// Records a successful transmission of the head frame.
+    pub fn on_success(&mut self) {
+        self.backoff = 0;
+        self.retries = 0;
+    }
+
+    /// Records a failed transmission; returns `true` if the frame must be
+    /// dropped (CSMA retry limit exceeded).
+    pub fn on_failure(&mut self, cfg: &MacConfig, rng: &mut SmallRng) -> bool {
+        match *cfg {
+            // TDMA is collision-free; a failure would indicate a scheduler
+            // bug, but the policy is simply "retry next frame".
+            MacConfig::SlottedAloha { .. } | MacConfig::Tdma => false,
+            MacConfig::Csma {
+                max_backoff_exp,
+                max_retries,
+            } => {
+                self.retries += 1;
+                if self.retries > max_retries {
+                    self.backoff = 0;
+                    self.retries = 0;
+                    return true;
+                }
+                // Clamp the shift: u32 shifts of >= 32 are UB-adjacent
+                // (panic in debug, wrap in release); windows beyond 2^16
+                // slots are pointless anyway.
+                let exp = self.retries.min(max_backoff_exp).min(16);
+                let window = 1u32 << exp;
+                self.backoff = rng.gen_range(0..window);
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn aloha_transmits_with_probability_p() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        let cfg = MacConfig::SlottedAloha { p: 0.3 };
+        let mut st = MacState::default();
+        let trials = 20_000;
+        let mut hits = 0;
+        for _ in 0..trials {
+            if st.wants_to_transmit(&cfg, true, false, &mut rng) {
+                hits += 1;
+            }
+        }
+        let rate = hits as f64 / trials as f64;
+        assert!((rate - 0.3).abs() < 0.02, "rate={rate}");
+    }
+
+    #[test]
+    fn idle_node_never_transmits() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        let mut st = MacState::default();
+        for cfg in [MacConfig::aloha(), MacConfig::csma()] {
+            for _ in 0..100 {
+                assert!(!st.wants_to_transmit(&cfg, false, false, &mut rng));
+            }
+        }
+    }
+
+    #[test]
+    fn csma_defers_on_busy_medium_and_counts_down_backoff() {
+        let mut rng = SmallRng::seed_from_u64(3);
+        let cfg = MacConfig::csma();
+        let mut st = MacState::default();
+        assert!(!st.wants_to_transmit(&cfg, true, true, &mut rng), "busy → defer");
+        st.backoff = 2;
+        assert!(!st.wants_to_transmit(&cfg, true, false, &mut rng));
+        assert!(!st.wants_to_transmit(&cfg, true, false, &mut rng));
+        assert!(st.wants_to_transmit(&cfg, true, false, &mut rng), "backoff expired");
+    }
+
+    #[test]
+    fn csma_backoff_grows_and_drops_after_retries() {
+        let mut rng = SmallRng::seed_from_u64(4);
+        let cfg = MacConfig::Csma {
+            max_backoff_exp: 4,
+            max_retries: 3,
+        };
+        let mut st = MacState::default();
+        assert!(!st.on_failure(&cfg, &mut rng));
+        assert!(st.backoff < 2, "first window is [0,2)");
+        assert!(!st.on_failure(&cfg, &mut rng));
+        assert!(st.backoff < 4);
+        assert!(!st.on_failure(&cfg, &mut rng));
+        assert!(st.backoff < 8);
+        assert!(st.on_failure(&cfg, &mut rng), "fourth failure drops");
+        assert_eq!(st.retries, 0, "state reset after drop");
+    }
+
+    #[test]
+    fn success_resets_state() {
+        let mut rng = SmallRng::seed_from_u64(5);
+        let cfg = MacConfig::csma();
+        let mut st = MacState::default();
+        st.on_failure(&cfg, &mut rng);
+        st.on_success();
+        assert_eq!(st.backoff, 0);
+        assert_eq!(st.retries, 0);
+    }
+}

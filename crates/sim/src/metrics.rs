@@ -1,0 +1,118 @@
+//! Simulation counters and derived ratios.
+
+/// Counters accumulated over a simulation run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Packets handed to the network layer.
+    pub generated: u64,
+    /// Packets that reached their final destination.
+    pub delivered: u64,
+    /// Packets dropped: no route at creation time.
+    pub dropped_no_route: u64,
+    /// Packets dropped by the MAC after exhausting retries.
+    pub dropped_retries: u64,
+    /// Frame transmissions attempted (one per node per slot at most).
+    pub transmissions: u64,
+    /// Transmissions whose intended receiver did not decode the frame.
+    pub collisions: u64,
+    /// Total transmission energy `Σ r_u^α` over all transmissions.
+    pub energy: f64,
+    /// Sum of end-to-end delays (slots) of delivered packets.
+    pub total_delay: u64,
+    /// Sum of hop counts of delivered packets.
+    pub total_hops: u64,
+    /// Per *receiver*: frames addressed to it that were destroyed by a
+    /// concurrent transmission (indexed by node).
+    pub collisions_at: Vec<u64>,
+    /// Per receiver: frames addressed to it that were decoded.
+    pub received_at: Vec<u64>,
+}
+
+impl Metrics {
+    /// Fraction of generated packets delivered (1.0 when nothing was
+    /// generated).
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.generated == 0 {
+            1.0
+        } else {
+            self.delivered as f64 / self.generated as f64
+        }
+    }
+
+    /// Fraction of transmissions that collided (0.0 when silent).
+    pub fn collision_rate(&self) -> f64 {
+        if self.transmissions == 0 {
+            0.0
+        } else {
+            self.collisions as f64 / self.transmissions as f64
+        }
+    }
+
+    /// Mean end-to-end delay of delivered packets in slots.
+    pub fn mean_delay(&self) -> f64 {
+        if self.delivered == 0 {
+            0.0
+        } else {
+            self.total_delay as f64 / self.delivered as f64
+        }
+    }
+
+    /// Mean transmissions spent per delivered packet — the retransmission
+    /// overhead the paper's introduction talks about.
+    pub fn transmissions_per_delivery(&self) -> f64 {
+        if self.delivered == 0 {
+            self.transmissions as f64
+        } else {
+            self.transmissions as f64 / self.delivered as f64
+        }
+    }
+
+    /// Energy per delivered packet.
+    pub fn energy_per_delivery(&self) -> f64 {
+        if self.delivered == 0 {
+            self.energy
+        } else {
+            self.energy / self.delivered as f64
+        }
+    }
+
+    /// Per-node collision rate at the receiver side:
+    /// `collisions_at[v] / (collisions_at[v] + received_at[v])`
+    /// (`None` for nodes that were never addressed).
+    pub fn node_collision_rate(&self, v: usize) -> Option<f64> {
+        let total = self.collisions_at[v] + self.received_at[v];
+        (total > 0).then(|| self.collisions_at[v] as f64 / total as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_on_empty_run_are_neutral() {
+        let m = Metrics::default();
+        assert_eq!(m.delivery_ratio(), 1.0);
+        assert_eq!(m.collision_rate(), 0.0);
+        assert_eq!(m.mean_delay(), 0.0);
+    }
+
+    #[test]
+    fn derived_ratios() {
+        let m = Metrics {
+            generated: 10,
+            delivered: 8,
+            transmissions: 40,
+            collisions: 10,
+            energy: 80.0,
+            total_delay: 64,
+            total_hops: 24,
+            ..Metrics::default()
+        };
+        assert!((m.delivery_ratio() - 0.8).abs() < 1e-12);
+        assert!((m.collision_rate() - 0.25).abs() < 1e-12);
+        assert!((m.mean_delay() - 8.0).abs() < 1e-12);
+        assert!((m.transmissions_per_delivery() - 5.0).abs() < 1e-12);
+        assert!((m.energy_per_delivery() - 10.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,132 @@
+//! PHY layer: precomputed coverage under the disk interference model.
+
+use rim_udg::Topology;
+
+/// Precomputed coverage relations of a topology.
+///
+/// `coverers[v]` lists the nodes `u != v` with `|uv| <= r_u` — the
+/// potential destroyers of a reception at `v`; by Definition 3.1,
+/// `coverers[v].len() == I(v)`. `covered[u]` is the transpose.
+#[derive(Debug, Clone)]
+pub struct Coverage {
+    /// For each receiver, the nodes whose disks cover it.
+    pub coverers: Vec<Vec<u32>>,
+    /// For each sender, the nodes its disk covers.
+    pub covered: Vec<Vec<u32>>,
+}
+
+impl Coverage {
+    /// Builds the coverage relation for a topology.
+    pub fn of(t: &Topology) -> Self {
+        let n = t.num_nodes();
+        let nodes = t.nodes();
+        let mut coverers = vec![Vec::new(); n];
+        let mut covered = vec![Vec::new(); n];
+        for u in 0..n {
+            if t.graph().degree(u) == 0 {
+                continue; // never transmits
+            }
+            let r = t.radius(u);
+            let pu = nodes.pos(u);
+            for v in 0..n {
+                if v != u && pu.dist(&nodes.pos(v)) <= r {
+                    coverers[v].push(u as u32);
+                    covered[u].push(v as u32);
+                }
+            }
+        }
+        Coverage { coverers, covered }
+    }
+
+    /// The receiver-centric interference `I(v)` — the number of potential
+    /// collision sources at `v`.
+    pub fn interference_at(&self, v: usize) -> usize {
+        self.coverers[v].len()
+    }
+
+    /// Decides whether a frame `u → v` transmitted in a slot is received,
+    /// given the set of nodes transmitting in that slot (`is_tx`).
+    ///
+    /// Reception fails iff `v` itself transmits (half duplex) or any
+    /// covering node other than `u` transmits.
+    pub fn received(&self, u: usize, v: usize, is_tx: &[bool]) -> bool {
+        if is_tx[v] {
+            return false;
+        }
+        !self.coverers[v]
+            .iter()
+            .any(|&w| w as usize != u && is_tx[w as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_core::receiver::interference_vector;
+    use rim_udg::NodeSet;
+
+    fn chain() -> Topology {
+        Topology::from_pairs(
+            NodeSet::on_line(&[0.0, 0.3, 0.6, 0.9]),
+            &[(0, 1), (1, 2), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn coverage_counts_equal_interference_vector() {
+        let t = chain();
+        let cov = Coverage::of(&t);
+        let iv = interference_vector(&t);
+        for v in 0..t.num_nodes() {
+            assert_eq!(cov.interference_at(v), iv[v], "v={v}");
+        }
+    }
+
+    #[test]
+    fn coverers_and_covered_are_transposes() {
+        let t = chain();
+        let cov = Coverage::of(&t);
+        for v in 0..t.num_nodes() {
+            for &u in &cov.coverers[v] {
+                assert!(cov.covered[u as usize].contains(&(v as u32)));
+            }
+        }
+        let pairs_a: usize = cov.coverers.iter().map(Vec::len).sum();
+        let pairs_b: usize = cov.covered.iter().map(Vec::len).sum();
+        assert_eq!(pairs_a, pairs_b);
+    }
+
+    #[test]
+    fn lone_transmission_is_received() {
+        let t = chain();
+        let cov = Coverage::of(&t);
+        let mut tx = vec![false; 4];
+        tx[0] = true;
+        assert!(cov.received(0, 1, &tx));
+    }
+
+    #[test]
+    fn covering_transmitter_destroys_reception() {
+        let t = chain();
+        let cov = Coverage::of(&t);
+        // Node 2's disk (radius 0.3) covers node 1; concurrent tx 0→1 and
+        // 2→3 collide at node 1.
+        let mut tx = vec![false; 4];
+        tx[0] = true;
+        tx[2] = true;
+        assert!(!cov.received(0, 1, &tx));
+        // …while the reception at node 3 succeeds (node 0's disk of
+        // radius 0.3 does not reach it, node 1 is silent).
+        assert!(cov.received(2, 3, &tx));
+    }
+
+    #[test]
+    fn half_duplex_receiver_cannot_listen() {
+        let t = chain();
+        let cov = Coverage::of(&t);
+        let mut tx = vec![false; 4];
+        tx[0] = true;
+        tx[1] = true;
+        assert!(!cov.received(0, 1, &tx));
+    }
+}

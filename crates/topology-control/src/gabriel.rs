@@ -1,0 +1,89 @@
+//! The Gabriel graph, intersected with the UDG.
+//!
+//! Edge `{u, v}` survives iff no third node lies in the closed disk whose
+//! diameter is the segment `uv` — the classic planar structure used by
+//! geographic routing (GPSR et al.). It is connected on each UDG
+//! component (it contains the MST) and contains the Nearest Neighbor
+//! Forest.
+
+use rim_graph::AdjacencyList;
+use rim_udg::{NodeSet, Topology};
+
+/// Returns `true` if the UDG edge `{u, v}` is a Gabriel edge: no other
+/// node `w` satisfies `|uw|² + |wv|² <= |uv|²` (closed-disk convention:
+/// a node *on* the diameter circle blocks the edge; deterministic and
+/// conservative).
+pub fn is_gabriel_edge(nodes: &NodeSet, u: usize, v: usize) -> bool {
+    let d_uv = nodes.dist_sq(u, v);
+    (0..nodes.len()).all(|w| {
+        w == u || w == v || nodes.dist_sq(u, w) + nodes.dist_sq(w, v) > d_uv
+    })
+}
+
+/// Builds the Gabriel graph restricted to UDG edges.
+pub fn gabriel_graph(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
+    let mut g = AdjacencyList::new(nodes.len());
+    for e in udg.edges() {
+        if is_gabriel_edge(nodes, e.u, e.v) {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+    }
+    Topology::from_graph(nodes.clone(), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnf::contains_nnf;
+    use rim_geom::Point;
+    use rim_udg::udg::unit_disk_graph;
+
+    #[test]
+    fn midpoint_node_blocks_edge() {
+        let ns = NodeSet::on_line(&[0.0, 0.5, 1.0]);
+        let udg = unit_disk_graph(&ns);
+        let t = gabriel_graph(&ns, &udg);
+        assert!(t.graph().has_edge(0, 1));
+        assert!(t.graph().has_edge(1, 2));
+        assert!(!t.graph().has_edge(0, 2), "node 1 sits inside the diameter disk");
+    }
+
+    #[test]
+    fn node_outside_diameter_disk_does_not_block() {
+        // w at distance such that the angle uwv is acute.
+        let ns = NodeSet::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.9), // well above the diameter circle (radius 0.5)
+        ]);
+        let udg = unit_disk_graph(&ns);
+        let t = gabriel_graph(&ns, &udg);
+        assert!(t.graph().has_edge(0, 1));
+    }
+
+    #[test]
+    fn preserves_connectivity_and_contains_nnf() {
+        let mut state = 77u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..50).map(|_| Point::new(rnd() * 1.6, rnd() * 1.6)).collect();
+        let ns = NodeSet::new(pts);
+        let udg = unit_disk_graph(&ns);
+        let t = gabriel_graph(&ns, &udg);
+        assert!(t.preserves_connectivity_of(&udg));
+        assert!(contains_nnf(&t, &udg));
+    }
+
+    #[test]
+    fn boundary_node_blocks_under_closed_convention() {
+        // w on the diameter circle: right angle at w → blocks.
+        let ns = NodeSet::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.5),
+        ]);
+        assert!(!is_gabriel_edge(&ns, 0, 1));
+    }
+}

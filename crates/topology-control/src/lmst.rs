@@ -1,0 +1,155 @@
+//! LMST — the local MST-based topology control of Li, Hou and Sha
+//! (INFOCOM 2003), reference \[9\] of the paper.
+//!
+//! Every node `u` computes the Euclidean MST of its closed 1-hop
+//! neighborhood `N(u) ∪ {u}` and *selects* the nodes adjacent to it on
+//! that local tree. The output keeps a UDG edge `{u, v}` when the
+//! endpoints' selections agree:
+//!
+//! * [`LmstVariant::Intersection`] (`G₀⁻`): both selected each other —
+//!   the degree-bounded variant (≤ 6 in general position);
+//! * [`LmstVariant::Union`] (`G₀⁺`): either selected the other.
+//!
+//! Li–Hou–Sha prove both preserve the UDG's connectivity; the
+//! intersection variant is the default here. Like every construction of
+//! its generation, LMST contains the Nearest Neighbor Forest (a node's
+//! nearest neighbor is its first local-MST edge), so Theorem 4.1 of the
+//! reproduced paper applies to it.
+
+use rim_graph::mst::kruskal;
+use rim_graph::{AdjacencyList, Edge};
+use rim_udg::{NodeSet, Topology};
+
+/// Which symmetrization of the directed local-MST selections to apply.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LmstVariant {
+    /// Keep `{u, v}` iff `u` selected `v` **and** `v` selected `u`.
+    Intersection,
+    /// Keep `{u, v}` iff `u` selected `v` **or** `v` selected `u`.
+    Union,
+}
+
+/// The nodes `u` selects: its neighbors on the MST of `N(u) ∪ {u}`.
+fn local_selection(nodes: &NodeSet, udg: &AdjacencyList, u: usize) -> Vec<usize> {
+    // Local vertex ids: 0 = u, then the UDG neighbors in index order.
+    let locals: Vec<usize> = std::iter::once(u).chain(udg.neighbors(u)).collect();
+    if locals.len() == 1 {
+        return Vec::new();
+    }
+    let mut edges = Vec::new();
+    for a in 0..locals.len() {
+        for b in (a + 1)..locals.len() {
+            let (ga, gb) = (locals[a], locals[b]);
+            // The local graph is the UDG induced on N(u) ∪ {u}.
+            if ga == u || gb == u || udg.has_edge(ga, gb) {
+                edges.push(Edge::new(a, b, nodes.dist(ga, gb)));
+            }
+        }
+    }
+    let mst = kruskal(locals.len(), &edges);
+    mst.iter()
+        .filter(|e| e.touches(0))
+        .map(|e| locals[e.other(0)])
+        .collect()
+}
+
+/// Builds the LMST topology over the UDG.
+pub fn lmst(nodes: &NodeSet, udg: &AdjacencyList, variant: LmstVariant) -> Topology {
+    let n = nodes.len();
+    let selections: Vec<Vec<usize>> = (0..n)
+        .map(|u| local_selection(nodes, udg, u))
+        .collect();
+    let selected = |u: usize, v: usize| selections[u].contains(&v);
+    let mut g = AdjacencyList::new(n);
+    for e in udg.edges() {
+        let keep = match variant {
+            LmstVariant::Intersection => selected(e.u, e.v) && selected(e.v, e.u),
+            LmstVariant::Union => selected(e.u, e.v) || selected(e.v, e.u),
+        };
+        if keep {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+    }
+    Topology::from_graph(nodes.clone(), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnf::contains_nnf;
+    use rim_geom::Point;
+    use rim_udg::udg::unit_disk_graph;
+
+    fn random_field(n: usize, side: f64, seed: u64) -> NodeSet {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        NodeSet::new((0..n).map(|_| Point::new(rnd() * side, rnd() * side)).collect())
+    }
+
+    #[test]
+    fn both_variants_preserve_connectivity() {
+        for seed in 1..5u64 {
+            let ns = random_field(70, 2.0, seed);
+            let udg = unit_disk_graph(&ns);
+            for variant in [LmstVariant::Intersection, LmstVariant::Union] {
+                let t = lmst(&ns, &udg, variant);
+                assert!(
+                    t.preserves_connectivity_of(&udg),
+                    "seed={seed} variant={variant:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn intersection_is_subgraph_of_union() {
+        let ns = random_field(60, 2.0, 9);
+        let udg = unit_disk_graph(&ns);
+        let inter = lmst(&ns, &udg, LmstVariant::Intersection);
+        let union = lmst(&ns, &udg, LmstVariant::Union);
+        for e in inter.edges() {
+            assert!(union.graph().has_edge(e.u, e.v));
+        }
+        assert!(inter.num_edges() <= union.num_edges());
+    }
+
+    #[test]
+    fn contains_the_nnf() {
+        let ns = random_field(60, 2.0, 12);
+        let udg = unit_disk_graph(&ns);
+        let t = lmst(&ns, &udg, LmstVariant::Intersection);
+        assert!(contains_nnf(&t, &udg));
+    }
+
+    #[test]
+    fn degree_is_small_in_general_position() {
+        let ns = random_field(120, 2.5, 4);
+        let udg = unit_disk_graph(&ns);
+        let t = lmst(&ns, &udg, LmstVariant::Intersection);
+        assert!(
+            t.graph().max_degree() <= 6,
+            "LMST degree bound violated: {}",
+            t.graph().max_degree()
+        );
+    }
+
+    #[test]
+    fn chain_is_kept_verbatim() {
+        let ns = NodeSet::on_line(&[0.0, 0.4, 0.8, 1.2]);
+        let udg = unit_disk_graph(&ns);
+        let t = lmst(&ns, &udg, LmstVariant::Intersection);
+        assert_eq!(t.num_edges(), 3);
+    }
+
+    #[test]
+    fn isolated_node_selects_nothing() {
+        let ns = NodeSet::on_line(&[0.0, 5.0, 5.3]);
+        let udg = unit_disk_graph(&ns);
+        let t = lmst(&ns, &udg, LmstVariant::Intersection);
+        assert_eq!(t.graph().degree(0), 0);
+        assert!(t.graph().has_edge(1, 2));
+    }
+}

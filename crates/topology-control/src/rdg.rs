@@ -1,0 +1,89 @@
+//! RDG — the Restricted Delaunay Graph, the planar-spanner family of
+//! Li, Calinescu and Wan (INFOCOM 2002), reference \[10\] of the paper.
+//!
+//! The global Delaunay triangulation intersected with the UDG: a planar
+//! constant-stretch spanner that contains the Gabriel graph (and hence
+//! the MST and the Nearest Neighbor Forest — Theorem 4.1 applies).
+//! The distributed protocol of \[10\] computes a local approximation of
+//! exactly this structure; we compute it centrally.
+
+use rim_geom::delaunay::delaunay;
+use rim_graph::AdjacencyList;
+use rim_udg::{NodeSet, Topology};
+
+/// Builds the Restricted Delaunay Graph (Delaunay ∩ UDG).
+pub fn restricted_delaunay(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
+    let d = delaunay(nodes.points());
+    let mut g = AdjacencyList::new(nodes.len());
+    for (u, v) in d.edges {
+        if udg.has_edge(u, v) {
+            g.add_edge(u, v, nodes.dist(u, v));
+        }
+    }
+    Topology::from_graph(nodes.clone(), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gabriel::gabriel_graph;
+    use crate::nnf::contains_nnf;
+    use rim_geom::Point;
+    use rim_udg::udg::unit_disk_graph;
+
+    fn random_field(n: usize, side: f64, seed: u64) -> NodeSet {
+        let mut state = seed;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        NodeSet::new((0..n).map(|_| Point::new(rnd() * side, rnd() * side)).collect())
+    }
+
+    #[test]
+    fn contains_the_gabriel_graph() {
+        let ns = random_field(70, 2.0, 21);
+        let udg = unit_disk_graph(&ns);
+        let rdg = restricted_delaunay(&ns, &udg);
+        let gg = gabriel_graph(&ns, &udg);
+        for e in gg.edges() {
+            assert!(
+                rdg.graph().has_edge(e.u, e.v),
+                "Gabriel edge ({}, {}) missing from RDG",
+                e.u,
+                e.v
+            );
+        }
+    }
+
+    #[test]
+    fn preserves_connectivity_and_contains_nnf() {
+        for seed in 1..4u64 {
+            let ns = random_field(60, 2.0, seed);
+            let udg = unit_disk_graph(&ns);
+            let t = restricted_delaunay(&ns, &udg);
+            assert!(t.preserves_connectivity_of(&udg), "seed={seed}");
+            assert!(contains_nnf(&t, &udg), "seed={seed}");
+        }
+    }
+
+    #[test]
+    fn planarity_via_euler_bound() {
+        // A planar graph has at most 3n − 6 edges.
+        let ns = random_field(100, 1.2, 5);
+        let udg = unit_disk_graph(&ns);
+        let t = restricted_delaunay(&ns, &udg);
+        assert!(t.num_edges() <= 3 * ns.len().saturating_sub(2));
+        // …and is much sparser than the dense UDG it came from.
+        assert!(t.num_edges() < udg.num_edges());
+    }
+
+    #[test]
+    fn chain_input() {
+        let ns = NodeSet::on_line(&[0.0, 0.4, 0.8, 1.2]);
+        let udg = unit_disk_graph(&ns);
+        let t = restricted_delaunay(&ns, &udg);
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.preserves_connectivity_of(&udg));
+    }
+}

@@ -1,0 +1,80 @@
+//! The Relative Neighborhood Graph, intersected with the UDG.
+//!
+//! Edge `{u, v}` survives iff no third node `w` is simultaneously closer
+//! to both endpoints than they are to each other (the "lune" is empty).
+//! RNG ⊆ Gabriel graph, and RNG still contains the MST and therefore the
+//! Nearest Neighbor Forest.
+
+use rim_graph::AdjacencyList;
+use rim_udg::{NodeSet, Topology};
+
+/// Returns `true` if `{u, v}` is an RNG edge: there is no `w` with
+/// `max(|uw|, |wv|) < |uv|` (strict lune; a node exactly at distance
+/// `|uv|` from one endpoint does not block).
+pub fn is_rng_edge(nodes: &NodeSet, u: usize, v: usize) -> bool {
+    let d_uv = nodes.dist_sq(u, v);
+    (0..nodes.len()).all(|w| {
+        w == u || w == v || nodes.dist_sq(u, w).max(nodes.dist_sq(w, v)) >= d_uv
+    })
+}
+
+/// Builds the RNG restricted to UDG edges.
+pub fn relative_neighborhood_graph(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
+    let mut g = AdjacencyList::new(nodes.len());
+    for e in udg.edges() {
+        if is_rng_edge(nodes, e.u, e.v) {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+    }
+    Topology::from_graph(nodes.clone(), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gabriel::gabriel_graph;
+    use crate::nnf::contains_nnf;
+    use rim_geom::Point;
+    use rim_udg::udg::unit_disk_graph;
+
+    #[test]
+    fn lune_node_blocks_edge() {
+        // Equilateral-ish: w close to both u and v.
+        let ns = NodeSet::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(1.0, 0.0),
+            Point::new(0.5, 0.3),
+        ]);
+        assert!(!is_rng_edge(&ns, 0, 1));
+        assert!(is_rng_edge(&ns, 0, 2));
+        assert!(is_rng_edge(&ns, 1, 2));
+    }
+
+    #[test]
+    fn rng_is_subgraph_of_gabriel() {
+        let mut state = 31u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..60).map(|_| Point::new(rnd() * 1.8, rnd() * 1.8)).collect();
+        let ns = NodeSet::new(pts);
+        let udg = unit_disk_graph(&ns);
+        let r = relative_neighborhood_graph(&ns, &udg);
+        let g = gabriel_graph(&ns, &udg);
+        for e in r.edges() {
+            assert!(g.graph().has_edge(e.u, e.v), "RNG edge missing from GG");
+        }
+        assert!(r.preserves_connectivity_of(&udg));
+        assert!(contains_nnf(&r, &udg));
+    }
+
+    #[test]
+    fn collinear_chain_keeps_consecutive_edges_only() {
+        let ns = NodeSet::on_line(&[0.0, 0.3, 0.6, 0.9]);
+        let udg = unit_disk_graph(&ns);
+        let t = relative_neighborhood_graph(&ns, &udg);
+        assert_eq!(t.num_edges(), 3);
+        assert!(t.graph().has_edge(0, 1) && t.graph().has_edge(1, 2) && t.graph().has_edge(2, 3));
+    }
+}

@@ -1,0 +1,105 @@
+//! XTC — Wattenhofer & Zollinger's practical topology control (WMAN 2004),
+//! reference \[19\] of the paper.
+//!
+//! Each node ranks its UDG neighbors by link quality — here Euclidean
+//! distance with index tie-breaking, the standard instantiation — and
+//! drops the link to neighbor `v` iff some third node `w` ranks better
+//! than `v` from *both* sides:
+//!
+//! ```text
+//! drop {u, v}  ⟺  ∃ w : w ≺_u v  and  w ≺_v u
+//! ```
+//!
+//! With distance ranking this coincides with the Relative Neighborhood
+//! Graph up to tie-breaking, preserves connectivity, and has degree at
+//! most 6 in general position. XTC needs no position information — only
+//! the neighbor rankings — which is why the paper lists it among the
+//! "minimal assumptions" algorithms.
+
+use rim_graph::AdjacencyList;
+use rim_udg::{NodeSet, Topology};
+
+/// The total-order ranking `w ≺_u v`: distance from `u`, then index.
+#[inline]
+fn ranks_better(nodes: &NodeSet, u: usize, w: usize, v: usize) -> bool {
+    let dw = nodes.dist_sq(u, w);
+    let dv = nodes.dist_sq(u, v);
+    dw < dv || (dw == dv && w < v)
+}
+
+/// Returns `true` if XTC keeps the UDG edge `{u, v}`.
+pub fn keeps_edge(nodes: &NodeSet, udg: &AdjacencyList, u: usize, v: usize) -> bool {
+    // A blocking w must be a common UDG neighbor ranked better from both
+    // sides; it suffices to scan u's neighbor list.
+    !udg.neighbors(u).any(|w| {
+        w != v
+            && udg.has_edge(w, v)
+            && ranks_better(nodes, u, w, v)
+            && ranks_better(nodes, v, w, u)
+    })
+}
+
+/// Builds the XTC topology over the UDG.
+pub fn xtc(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
+    let mut g = AdjacencyList::new(nodes.len());
+    for e in udg.edges() {
+        if keeps_edge(nodes, udg, e.u, e.v) {
+            g.add_edge(e.u, e.v, e.weight);
+        }
+    }
+    Topology::from_graph(nodes.clone(), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnf::contains_nnf;
+    use rim_geom::Point;
+    use rim_udg::udg::unit_disk_graph;
+
+    #[test]
+    fn drops_the_long_side_of_a_triangle() {
+        let ns = NodeSet::new(vec![
+            Point::new(0.0, 0.0),
+            Point::new(0.9, 0.0),
+            Point::new(0.45, 0.2),
+        ]);
+        let udg = unit_disk_graph(&ns);
+        let t = xtc(&ns, &udg);
+        assert!(!t.graph().has_edge(0, 1), "node 2 ranks better from both");
+        assert!(t.graph().has_edge(0, 2));
+        assert!(t.graph().has_edge(1, 2));
+        assert!(t.preserves_connectivity_of(&udg));
+    }
+
+    #[test]
+    fn preserves_connectivity_and_contains_nnf_on_random_instances() {
+        let mut state = 2024u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        for _ in 0..5 {
+            let pts: Vec<Point> = (0..60).map(|_| Point::new(rnd() * 2.0, rnd() * 2.0)).collect();
+            let ns = NodeSet::new(pts);
+            let udg = unit_disk_graph(&ns);
+            let t = xtc(&ns, &udg);
+            assert!(t.preserves_connectivity_of(&udg));
+            assert!(contains_nnf(&t, &udg));
+        }
+    }
+
+    #[test]
+    fn equidistant_ties_resolved_by_index() {
+        // u between two equidistant neighbors that are also in range of
+        // each other: exactly one of the symmetric edges is dropped,
+        // deterministically.
+        let ns = NodeSet::on_line(&[0.0, 0.5, 1.0]);
+        let udg = unit_disk_graph(&ns);
+        let t = xtc(&ns, &udg);
+        assert!(t.graph().has_edge(0, 1));
+        assert!(t.graph().has_edge(1, 2));
+        assert!(!t.graph().has_edge(0, 2));
+        assert!(t.preserves_connectivity_of(&udg));
+    }
+}

@@ -1,0 +1,105 @@
+//! The Yao graph — cone-based nearest-neighbor selection.
+//!
+//! Each node partitions the plane around itself into `k` equal cones and
+//! keeps a link to the nearest UDG neighbor inside each cone. The
+//! undirected output is the union of all selected links (a link exists if
+//! *either* endpoint selected it), the convention of the CBTC family. For
+//! `k >= 6` the result is connected on each UDG component and a spanner.
+
+use rim_graph::AdjacencyList;
+use rim_udg::{NodeSet, Topology};
+
+/// Builds the Yao graph with `k >= 1` cones, restricted to UDG edges.
+///
+/// Cone `j` at node `u` covers angles `[2πj/k, 2π(j+1)/k)` measured from
+/// the positive x-axis. Ties within a cone break towards the smaller
+/// index.
+pub fn yao_graph(nodes: &NodeSet, udg: &AdjacencyList, k: usize) -> Topology {
+    assert!(k >= 1, "need at least one cone");
+    let mut g = AdjacencyList::new(nodes.len());
+    let tau = std::f64::consts::TAU;
+    let mut best: Vec<Option<usize>> = vec![None; k];
+    for u in 0..nodes.len() {
+        best.iter_mut().for_each(|b| *b = None);
+        let pu = nodes.pos(u);
+        for v in udg.neighbors(u) {
+            let mut angle = pu.angle_to(&nodes.pos(v));
+            if angle < 0.0 {
+                angle += tau;
+            }
+            let cone = ((angle / tau * k as f64) as usize).min(k - 1);
+            let replace = match best[cone] {
+                None => true,
+                Some(w) => {
+                    let dv = nodes.dist_sq(u, v);
+                    let dw = nodes.dist_sq(u, w);
+                    dv < dw || (dv == dw && v < w)
+                }
+            };
+            if replace {
+                best[cone] = Some(v);
+            }
+        }
+        for &sel in best.iter().flatten() {
+            if !g.has_edge(u, sel) {
+                g.add_edge(u, sel, nodes.dist(u, sel));
+            }
+        }
+    }
+    Topology::from_graph(nodes.clone(), g)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::nnf::contains_nnf;
+    use rim_geom::Point;
+    use rim_udg::udg::unit_disk_graph;
+
+    #[test]
+    fn keeps_nearest_neighbor_per_cone() {
+        // Two neighbors in the same (east) cone: only the closer is kept
+        // by u, but the farther one may still select u from its side.
+        let ns = NodeSet::on_line(&[0.0, 0.3, 0.8]);
+        let udg = unit_disk_graph(&ns);
+        let t = yao_graph(&ns, &udg, 4);
+        assert!(t.graph().has_edge(0, 1));
+        // Node 2's west cone selects node 1 (closer than 0), so {0,2}
+        // only appears if node 0 selected 2 — it did not (1 is closer).
+        assert!(!t.graph().has_edge(0, 2));
+        assert!(t.graph().has_edge(1, 2));
+    }
+
+    #[test]
+    fn six_cones_preserve_connectivity() {
+        let mut state = 13u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..80).map(|_| Point::new(rnd() * 2.0, rnd() * 2.0)).collect();
+        let ns = NodeSet::new(pts);
+        let udg = unit_disk_graph(&ns);
+        let t = yao_graph(&ns, &udg, 6);
+        assert!(t.preserves_connectivity_of(&udg));
+        assert!(contains_nnf(&t, &udg));
+        // Union convention still bounds *selected* out-degree by k, so the
+        // edge count is at most k·n.
+        assert!(t.num_edges() <= 6 * ns.len());
+    }
+
+    #[test]
+    fn single_cone_is_nearest_neighbor_union() {
+        // k = 1: every node selects its nearest neighbor only, so the Yao
+        // union equals the Nearest Neighbor Forest.
+        let ns = NodeSet::on_line(&[0.0, 0.25, 0.6, 0.61]);
+        let udg = unit_disk_graph(&ns);
+        let yao = yao_graph(&ns, &udg, 1);
+        let nnf = crate::nnf::nearest_neighbor_forest(&ns, &udg);
+        let mut a: Vec<_> = yao.edges().iter().map(|e| e.pair()).collect();
+        let mut b: Vec<_> = nnf.edges().iter().map(|e| e.pair()).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,203 @@
+//! Plain-text serialization of node sets and topologies.
+//!
+//! The formats are deliberately trivial so instances can be produced and
+//! inspected with standard tools:
+//!
+//! * **nodes file** — one `x y` pair per line (`y` may be omitted for
+//!   highway instances); `#` starts a comment;
+//! * **topology file** — one `u v` node-index pair per line, `#`
+//!   comments allowed. Edge weights are recomputed from the node file,
+//!   so a topology file is only meaningful next to its node file.
+
+use crate::node_set::NodeSet;
+use crate::topology::Topology;
+use rim_geom::Point;
+use std::fmt;
+
+/// Parse error for the plain-text formats.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn significant_lines(text: &str) -> impl Iterator<Item = (usize, &str)> {
+    text.lines().enumerate().filter_map(|(i, raw)| {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        (!line.is_empty()).then_some((i + 1, line))
+    })
+}
+
+/// Parses a nodes file: `x [y]` per line.
+pub fn parse_nodes(text: &str) -> Result<NodeSet, ParseError> {
+    let mut pts = Vec::new();
+    for (line, content) in significant_lines(text) {
+        let mut it = content.split_whitespace();
+        let x: f64 = it
+            .next()
+            .unwrap()
+            .parse()
+            .map_err(|e| ParseError {
+                line,
+                message: format!("bad x coordinate: {e}"),
+            })?;
+        let y: f64 = match it.next() {
+            Some(tok) => tok.parse().map_err(|e| ParseError {
+                line,
+                message: format!("bad y coordinate: {e}"),
+            })?,
+            None => 0.0,
+        };
+        if it.next().is_some() {
+            return Err(ParseError {
+                line,
+                message: "expected at most two coordinates".into(),
+            });
+        }
+        if !x.is_finite() || !y.is_finite() {
+            return Err(ParseError {
+                line,
+                message: "coordinates must be finite".into(),
+            });
+        }
+        pts.push(Point::new(x, y));
+    }
+    Ok(NodeSet::new(pts))
+}
+
+/// Renders a nodes file.
+pub fn format_nodes(nodes: &NodeSet) -> String {
+    let mut out = String::with_capacity(nodes.len() * 24);
+    out.push_str("# rim nodes file: x y per line\n");
+    for p in nodes.points() {
+        out.push_str(&format!("{} {}\n", p.x, p.y));
+    }
+    out
+}
+
+/// Parses a topology file (`u v` per line) against a node set.
+pub fn parse_topology(text: &str, nodes: &NodeSet) -> Result<Topology, ParseError> {
+    let mut pairs: Vec<(usize, usize)> = Vec::new();
+    let mut pair_lines: Vec<usize> = Vec::new();
+    for (line, content) in significant_lines(text) {
+        let mut it = content.split_whitespace();
+        let parse_idx = |tok: Option<&str>, line: usize| -> Result<usize, ParseError> {
+            let tok = tok.ok_or(ParseError {
+                line,
+                message: "expected two node indices".into(),
+            })?;
+            let idx: usize = tok.parse().map_err(|e| ParseError {
+                line,
+                message: format!("bad node index: {e}"),
+            })?;
+            if idx >= nodes.len() {
+                return Err(ParseError {
+                    line,
+                    message: format!("node index {idx} out of range (n = {})", nodes.len()),
+                });
+            }
+            Ok(idx)
+        };
+        let u = parse_idx(it.next(), line)?;
+        let v = parse_idx(it.next(), line)?;
+        if it.next().is_some() {
+            return Err(ParseError {
+                line,
+                message: "expected exactly two node indices".into(),
+            });
+        }
+        if u == v {
+            return Err(ParseError {
+                line,
+                message: format!("self-loop at node {u}"),
+            });
+        }
+        pairs.push((u, v));
+        pair_lines.push(line);
+    }
+    // Reject duplicates with a proper error instead of the panic that
+    // Topology::from_pairs would raise.
+    let mut seen = std::collections::HashSet::new();
+    for (&(u, v), &line) in pairs.iter().zip(&pair_lines) {
+        if !seen.insert((u.min(v), u.max(v))) {
+            return Err(ParseError {
+                line,
+                message: format!("duplicate edge ({u}, {v})"),
+            });
+        }
+    }
+    Ok(Topology::from_pairs(nodes.clone(), &pairs))
+}
+
+/// Renders a topology file.
+pub fn format_topology(t: &Topology) -> String {
+    let mut out = String::with_capacity(t.num_edges() * 12);
+    out.push_str("# rim topology file: u v per line\n");
+    for e in t.edges() {
+        out.push_str(&format!("{} {}\n", e.u, e.v));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nodes_roundtrip() {
+        let ns = NodeSet::new(vec![Point::new(0.25, -1.5), Point::new(3.0, 0.0)]);
+        let parsed = parse_nodes(&format_nodes(&ns)).unwrap();
+        assert_eq!(parsed, ns);
+    }
+
+    #[test]
+    fn highway_shorthand_and_comments() {
+        let ns = parse_nodes("# heading\n0.5\n1.5  # trailing comment\n\n2.5 0\n").unwrap();
+        assert_eq!(ns.len(), 3);
+        assert!(ns.is_highway());
+        assert_eq!(ns.pos(2), Point::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn topology_roundtrip() {
+        let ns = NodeSet::on_line(&[0.0, 0.5, 1.0]);
+        let t = Topology::from_pairs(ns.clone(), &[(0, 1), (1, 2)]);
+        let parsed = parse_topology(&format_topology(&t), &ns).unwrap();
+        assert_eq!(parsed.num_edges(), 2);
+        assert!(parsed.graph().has_edge(0, 1));
+        assert!(parsed.graph().has_edge(1, 2));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        assert_eq!(parse_nodes("1.0\nxyz\n").unwrap_err().line, 2);
+        assert_eq!(parse_nodes("1 2 3\n").unwrap_err().line, 1);
+        assert_eq!(parse_nodes("inf\n").unwrap_err().line, 1);
+
+        let ns = NodeSet::on_line(&[0.0, 0.5]);
+        assert_eq!(parse_topology("0 5\n", &ns).unwrap_err().line, 1);
+        assert_eq!(parse_topology("0\n", &ns).unwrap_err().line, 1);
+        assert_eq!(parse_topology("0 0\n", &ns).unwrap_err().line, 1);
+        assert!(parse_topology("0 1\n1 0\n", &ns)
+            .unwrap_err()
+            .message
+            .contains("duplicate"));
+    }
+
+    #[test]
+    fn empty_files_are_valid() {
+        assert_eq!(parse_nodes("# nothing\n").unwrap().len(), 0);
+        let ns = NodeSet::on_line(&[0.0, 1.0]);
+        assert_eq!(parse_topology("", &ns).unwrap().num_edges(), 0);
+    }
+}

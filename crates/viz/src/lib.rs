@@ -1,0 +1,18 @@
+//! `rim-viz` — hand-rolled SVG rendering for the paper's figures.
+//!
+//! The reproduction environment has no plotting conveniences, so this
+//! crate writes SVG directly:
+//!
+//! * [`svg::SvgCanvas`] — a tiny element builder with a world-to-canvas
+//!   transform (no external crates);
+//! * [`render::render_topology`] — nodes, links, and the dashed
+//!   interference disks of Figure 2;
+//! * [`render::render_highway_arcs`] — the arc diagrams of Figures 8
+//!   and 9 (edges drawn as semicircular arcs over the highway, hubs as
+//!   hollow points, optional logarithmic x-axis for exponential chains).
+
+pub mod render;
+pub mod svg;
+
+pub use render::{render_highway_arcs, render_topology, RenderOptions};
+pub use svg::SvgCanvas;

@@ -1,0 +1,204 @@
+//! Figure-style renderers.
+
+use crate::svg::SvgCanvas;
+use rim_geom::{Aabb, Point};
+use rim_highway::HighwayInstance;
+use rim_udg::Topology;
+
+/// Rendering options for [`render_topology`].
+#[derive(Debug, Clone, Copy)]
+pub struct RenderOptions {
+    /// Canvas width in pixels.
+    pub width: f64,
+    /// Canvas height in pixels.
+    pub height: f64,
+    /// Draw the dashed interference disks `D(u, r_u)` (Figure 2 style).
+    pub show_disks: bool,
+    /// Annotate each node with its interference value `I(v)`.
+    pub show_interference: bool,
+}
+
+impl Default for RenderOptions {
+    fn default() -> Self {
+        RenderOptions {
+            width: 640.0,
+            height: 480.0,
+            show_disks: false,
+            show_interference: false,
+        }
+    }
+}
+
+/// Renders a topology: links as lines, nodes as dots, optionally the
+/// interference disks and per-node `I(v)` labels.
+pub fn render_topology(t: &Topology, opts: RenderOptions) -> String {
+    let nodes = t.nodes();
+    let mut world = nodes.bbox();
+    if opts.show_disks {
+        // Disks extend past the node bounding box.
+        let r_max = t.radii().iter().copied().fold(0.0f64, f64::max);
+        world = world
+            .expand(world.min - Point::new(r_max, r_max))
+            .expand(world.max + Point::new(r_max, r_max));
+    }
+    if world.is_empty() {
+        world = Aabb::new(Point::ORIGIN, Point::new(1.0, 1.0));
+    }
+    if world.width() == 0.0 || world.height() == 0.0 {
+        // Degenerate (e.g. highway) boxes get a little vertical room.
+        let pad = world.width().max(world.height()).max(1.0) * 0.1;
+        world = world
+            .expand(world.min - Point::new(pad, pad))
+            .expand(world.max + Point::new(pad, pad));
+    }
+    let mut c = SvgCanvas::new(world, opts.width, opts.height, 24.0);
+    if opts.show_disks {
+        for u in 0..t.num_nodes() {
+            let r = t.radius(u);
+            if r > 0.0 {
+                c.circle_world(nodes.pos(u), r, "#888888", "none", true);
+            }
+        }
+    }
+    for e in t.edges() {
+        c.line(nodes.pos(e.u), nodes.pos(e.v), "black", 1.2);
+    }
+    let labels = opts
+        .show_interference
+        .then(|| rim_core::receiver::interference_vector(t));
+    for u in 0..t.num_nodes() {
+        c.dot(nodes.pos(u), 3.5, "black", "none");
+        if let Some(iv) = &labels {
+            let offset = Point::new(world.width() * 0.01, world.height() * 0.02);
+            c.text(nodes.pos(u) + offset, &iv[u].to_string(), 11.0);
+        }
+    }
+    c.finish()
+}
+
+/// Renders a highway topology as an arc diagram (Figure 8/9 style):
+/// nodes on a horizontal axis, every link a semicircular arc, hub nodes
+/// (degree ≥ 2) hollow. With `log_scale` the x-axis is logarithmic in
+/// the node *gaps* — the representation the paper uses for the
+/// exponential node chain, where a linear axis would collapse the left
+/// end.
+pub fn render_highway_arcs(instance: &HighwayInstance, t: &Topology, log_scale: bool) -> String {
+    assert_eq!(instance.len(), t.num_nodes());
+    let n = instance.len();
+    // Display positions: either raw or index-spaced via cumulative
+    // log-gaps.
+    let display_x: Vec<f64> = if log_scale {
+        let mut xs = vec![0.0f64];
+        for i in 0..n.saturating_sub(1) {
+            let g = instance.gap(i).max(f64::MIN_POSITIVE);
+            xs.push(xs[i] + (1.0 + g.log2().abs()).max(1.0));
+        }
+        xs
+    } else {
+        instance.positions().to_vec()
+    };
+    let span = display_x.last().copied().unwrap_or(1.0) - display_x.first().copied().unwrap_or(0.0);
+    let span = span.max(1.0);
+    let world = Aabb::new(
+        Point::new(display_x.first().copied().unwrap_or(0.0), -span * 0.1),
+        Point::new(
+            display_x.last().copied().unwrap_or(1.0),
+            span * 0.55, // room for the tallest arc
+        ),
+    );
+    let mut c = SvgCanvas::new(world, 900.0, 420.0, 24.0);
+    // Axis.
+    c.line(
+        Point::new(world.min.x, 0.0),
+        Point::new(world.max.x, 0.0),
+        "#bbbbbb",
+        0.8,
+    );
+    for e in t.edges() {
+        c.arc(
+            Point::new(display_x[e.u], 0.0),
+            Point::new(display_x[e.v], 0.0),
+            "black",
+            1.0,
+        );
+    }
+    let iv = rim_core::receiver::interference_vector(t);
+    for u in 0..n {
+        let p = Point::new(display_x[u], 0.0);
+        if t.graph().degree(u) >= 2 {
+            c.dot(p, 4.0, "white", "black"); // hollow hub, as in Figure 8
+        } else {
+            c.dot(p, 3.0, "black", "none");
+        }
+        c.text(p + Point::new(0.0, -span * 0.06), &iv[u].to_string(), 10.0);
+    }
+    c.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_highway::{a_exp, exponential_chain};
+    use rim_udg::NodeSet;
+
+    fn sample() -> Topology {
+        Topology::from_pairs(
+            NodeSet::new(vec![
+                Point::new(0.0, 0.0),
+                Point::new(0.5, 0.2),
+                Point::new(1.0, 0.0),
+            ]),
+            &[(0, 1), (1, 2)],
+        )
+    }
+
+    #[test]
+    fn topology_render_has_all_elements() {
+        let t = sample();
+        let svg = render_topology(
+            &t,
+            RenderOptions {
+                show_disks: true,
+                show_interference: true,
+                ..RenderOptions::default()
+            },
+        );
+        // 2 edges, 3 dots + 3 disks, 3 labels.
+        assert_eq!(svg.matches("<line").count(), 2);
+        assert_eq!(svg.matches("<circle").count(), 6);
+        assert_eq!(svg.matches("<text").count(), 3);
+        assert!(svg.contains("stroke-dasharray"));
+    }
+
+    #[test]
+    fn plain_render_omits_disks_and_labels() {
+        let svg = render_topology(&sample(), RenderOptions::default());
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert_eq!(svg.matches("<text").count(), 0);
+    }
+
+    #[test]
+    fn arc_diagram_of_aexp_marks_hubs_hollow() {
+        let chain = exponential_chain(16);
+        let r = a_exp(&chain);
+        let svg = render_highway_arcs(&chain, &r.topology, true);
+        // One arc per edge.
+        assert_eq!(svg.matches("<path").count(), r.topology.num_edges());
+        // Hollow hubs: fill="white".
+        let hollow = svg.matches(r#"fill="white""#).count();
+        let hubs_with_degree_2plus = (0..chain.len())
+            .filter(|&u| r.topology.graph().degree(u) >= 2)
+            .count();
+        // +1 for the background rect fill="white".
+        assert_eq!(hollow, hubs_with_degree_2plus + 1);
+    }
+
+    #[test]
+    fn highway_render_on_uniform_chain() {
+        let h = HighwayInstance::new(vec![0.0, 0.3, 0.6, 0.9]);
+        let t = h.linear_topology();
+        let svg = render_highway_arcs(&h, &t, false);
+        assert_eq!(svg.matches("<path").count(), 3);
+        assert!(svg.starts_with("<svg"));
+    }
+}

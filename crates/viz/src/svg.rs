@@ -1,0 +1,166 @@
+//! A minimal SVG element builder with a world-to-canvas transform.
+
+use rim_geom::{Aabb, Point};
+use std::fmt::Write as _;
+
+/// An SVG document under construction.
+///
+/// World coordinates are mapped into a fixed-size canvas with a margin;
+/// the y-axis is flipped (SVG grows downward, geometry grows upward).
+#[derive(Debug, Clone)]
+pub struct SvgCanvas {
+    width: f64,
+    height: f64,
+    margin: f64,
+    world: Aabb,
+    body: String,
+}
+
+impl SvgCanvas {
+    /// Creates a canvas mapping the `world` box into `width × height`
+    /// pixels with a `margin`.
+    pub fn new(world: Aabb, width: f64, height: f64, margin: f64) -> Self {
+        assert!(!world.is_empty(), "empty world box");
+        assert!(width > 2.0 * margin && height > 2.0 * margin);
+        SvgCanvas {
+            width,
+            height,
+            margin,
+            world,
+            body: String::new(),
+        }
+    }
+
+    /// World-to-canvas transform.
+    pub fn map(&self, p: Point) -> (f64, f64) {
+        let w = self.world.width().max(1e-12);
+        let h = self.world.height().max(1e-12);
+        let sx = (self.width - 2.0 * self.margin) / w;
+        let sy = (self.height - 2.0 * self.margin) / h;
+        // Uniform scale keeps distances undistorted (disks stay round).
+        let s = sx.min(sy);
+        let x = self.margin + (p.x - self.world.min.x) * s;
+        let y = self.height - self.margin - (p.y - self.world.min.y) * s;
+        (x, y)
+    }
+
+    /// Scale factor (world units → pixels).
+    pub fn scale(&self) -> f64 {
+        let w = self.world.width().max(1e-12);
+        let h = self.world.height().max(1e-12);
+        ((self.width - 2.0 * self.margin) / w).min((self.height - 2.0 * self.margin) / h)
+    }
+
+    /// Draws a line between world points.
+    pub fn line(&mut self, a: Point, b: Point, stroke: &str, width: f64) {
+        let (x1, y1) = self.map(a);
+        let (x2, y2) = self.map(b);
+        let _ = writeln!(
+            self.body,
+            r#"<line x1="{x1:.2}" y1="{y1:.2}" x2="{x2:.2}" y2="{y2:.2}" stroke="{stroke}" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Draws a circle with *world* radius (scaled with the canvas).
+    pub fn circle_world(&mut self, c: Point, r: f64, stroke: &str, fill: &str, dashed: bool) {
+        let (cx, cy) = self.map(c);
+        let rr = r * self.scale();
+        let dash = if dashed { r#" stroke-dasharray="4 3""# } else { "" };
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{rr:.2}" stroke="{stroke}" fill="{fill}"{dash}/>"#
+        );
+    }
+
+    /// Draws a fixed-pixel-radius dot (node markers).
+    pub fn dot(&mut self, c: Point, px: f64, fill: &str, stroke: &str) {
+        let (cx, cy) = self.map(c);
+        let _ = writeln!(
+            self.body,
+            r#"<circle cx="{cx:.2}" cy="{cy:.2}" r="{px}" stroke="{stroke}" fill="{fill}"/>"#
+        );
+    }
+
+    /// Draws a semicircular arc over the x-axis between two world points
+    /// (the Figure 8 edge style).
+    pub fn arc(&mut self, a: Point, b: Point, stroke: &str, width: f64) {
+        let (x1, y1) = self.map(a);
+        let (x2, y2) = self.map(b);
+        let r = (x2 - x1).abs() / 2.0;
+        let _ = writeln!(
+            self.body,
+            r#"<path d="M {x1:.2} {y1:.2} A {r:.2} {r:.2} 0 0 1 {x2:.2} {y2:.2}" stroke="{stroke}" fill="none" stroke-width="{width}"/>"#
+        );
+    }
+
+    /// Places a text label at a world point.
+    pub fn text(&mut self, at: Point, content: &str, size: f64) {
+        let (x, y) = self.map(at);
+        let _ = writeln!(
+            self.body,
+            r#"<text x="{x:.2}" y="{y:.2}" font-size="{size}" font-family="sans-serif">{content}</text>"#
+        );
+    }
+
+    /// Finalizes the document.
+    pub fn finish(self) -> String {
+        format!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{:.0}\" height=\"{:.0}\" viewBox=\"0 0 {:.0} {:.0}\">\n<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n{}</svg>\n",
+            self.width, self.height, self.width, self.height, self.body
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit_canvas() -> SvgCanvas {
+        SvgCanvas::new(
+            Aabb::new(Point::new(0.0, 0.0), Point::new(1.0, 1.0)),
+            400.0,
+            400.0,
+            20.0,
+        )
+    }
+
+    #[test]
+    fn transform_flips_y_and_respects_margin() {
+        let c = unit_canvas();
+        let (x0, y0) = c.map(Point::new(0.0, 0.0));
+        let (x1, y1) = c.map(Point::new(1.0, 1.0));
+        assert_eq!((x0, y0), (20.0, 380.0));
+        assert_eq!((x1, y1), (380.0, 20.0));
+    }
+
+    #[test]
+    fn elements_appear_in_output() {
+        let mut c = unit_canvas();
+        c.line(Point::new(0.0, 0.0), Point::new(1.0, 1.0), "black", 1.0);
+        c.dot(Point::new(0.5, 0.5), 3.0, "black", "none");
+        c.circle_world(Point::new(0.5, 0.5), 0.25, "gray", "none", true);
+        c.arc(Point::new(0.0, 0.0), Point::new(1.0, 0.0), "blue", 1.0);
+        c.text(Point::new(0.1, 0.9), "I(u)=2", 12.0);
+        let s = c.finish();
+        assert!(s.starts_with("<svg"));
+        assert!(s.ends_with("</svg>\n"));
+        assert_eq!(s.matches("<line").count(), 1);
+        assert_eq!(s.matches("<circle").count(), 2);
+        assert!(s.contains("stroke-dasharray"));
+        assert!(s.contains("<path"));
+        assert!(s.contains("I(u)=2"));
+    }
+
+    #[test]
+    fn world_radius_scales_uniformly() {
+        let c = unit_canvas();
+        // 360 px across 1.0 world units.
+        assert!((c.scale() - 360.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_world_box_is_rejected() {
+        SvgCanvas::new(Aabb::EMPTY, 100.0, 100.0, 5.0);
+    }
+}

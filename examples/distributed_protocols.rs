@@ -1,0 +1,47 @@
+//! Topology control the way it actually runs: as localized
+//! message-passing protocols. Each node only ever talks to its radio
+//! neighbors; the runtime enforces that and counts the cost.
+//!
+//! ```text
+//! cargo run --example distributed_protocols
+//! ```
+
+use rim::prelude::*;
+use rim::proto::{lmst_proto::LmstNode, nnf_proto::NnfNode, run_protocol, xtc_proto::XtcNode};
+
+fn main() {
+    let nodes = rim::workloads::uniform_square(100, 2.2, 11);
+    let udg = unit_disk_graph(&nodes);
+    println!(
+        "field: {} nodes, UDG: {} edges, Δ = {}\n",
+        nodes.len(),
+        udg.num_edges(),
+        udg.max_degree()
+    );
+    println!(
+        "{:<6} {:>7} {:>9} {:>13} {:>7} {:>7}",
+        "proto", "rounds", "messages", "max msgs/node", "edges", "I(G')"
+    );
+
+    let (t, s) = run_protocol::<XtcNode>(&nodes, &udg);
+    println!(
+        "{:<6} {:>7} {:>9} {:>13} {:>7} {:>7}",
+        "XTC", s.rounds, s.messages, s.max_node_messages, t.num_edges(), graph_interference(&t)
+    );
+    let (t, s) = run_protocol::<LmstNode>(&nodes, &udg);
+    println!(
+        "{:<6} {:>7} {:>9} {:>13} {:>7} {:>7}",
+        "LMST", s.rounds, s.messages, s.max_node_messages, t.num_edges(), graph_interference(&t)
+    );
+    let (t, s) = run_protocol::<NnfNode>(&nodes, &udg);
+    println!(
+        "{:<6} {:>7} {:>9} {:>13} {:>7} {:>7}",
+        "NNF", s.rounds, s.messages, s.max_node_messages, t.num_edges(), graph_interference(&t)
+    );
+
+    println!(
+        "\nAll three finish in two synchronous rounds with one message per\n\
+         directed radio link — and produce bit-identical topologies to the\n\
+         centralized implementations (asserted in the crate's tests)."
+    );
+}

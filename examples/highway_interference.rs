@@ -1,0 +1,69 @@
+//! The highway model end to end: reproduce the paper's Section 5 story
+//! on the exponential node chain and on random 1-D instances.
+//!
+//! ```text
+//! cargo run --example highway_interference
+//! ```
+
+use rim::highway::bounds::{exponential_chain_lower_bound, optimum_lower_bound};
+use rim::highway::a_apx::ApxChoice;
+use rim::prelude::*;
+
+fn main() {
+    println!("== exponential node chain (Figures 6-8, Theorems 5.1/5.2) ==");
+    println!(
+        "{:>5} {:>9} {:>8} {:>8} {:>8} {:>7}",
+        "n", "linear", "A_exp", "A_gen", "A_apx", "√n"
+    );
+    for n in [8usize, 16, 32, 64, 128, 256] {
+        let chain = exponential_chain(n);
+        let linear = graph_interference(&chain.linear_topology());
+        let aexp = graph_interference(&a_exp(&chain).topology);
+        let agen = graph_interference(&a_gen(&chain).topology);
+        let aapx = graph_interference(&a_apx(&chain).topology);
+        println!(
+            "{:>5} {:>9} {:>8} {:>8} {:>8} {:>7.2}",
+            n,
+            linear,
+            aexp,
+            agen,
+            aapx,
+            exponential_chain_lower_bound(n)
+        );
+    }
+
+    println!("\n== random highway instances: A_apx adapts (Theorem 5.6) ==");
+    println!(
+        "{:>22} {:>6} {:>6} {:>8} {:>8} {:>9}",
+        "instance", "Δ", "γ", "choice", "I(apx)", "LB(√γ/2)"
+    );
+    let instances: Vec<(&str, HighwayInstance)> = vec![
+        ("uniform n=100", rim::workloads::uniform_highway(100, 4.0, 7)),
+        (
+            "clustered 5×20",
+            rim::workloads::clustered_highway(5, 20, 0.05, 1.0, 7),
+        ),
+        (
+            "fragmented exponential",
+            rim::workloads::fragmented_exponential(4, 16, 7),
+        ),
+        ("exponential n=64", exponential_chain(64)),
+    ];
+    for (name, h) in instances {
+        let r = a_apx(&h);
+        let choice = match r.single_choice() {
+            Some(ApxChoice::Linear) => "linear",
+            Some(ApxChoice::Gen) => "A_gen",
+            None => "mixed",
+        };
+        println!(
+            "{:>22} {:>6} {:>6} {:>8} {:>8} {:>9.2}",
+            name,
+            h.max_degree(),
+            gamma(&h),
+            choice,
+            graph_interference(&r.topology),
+            optimum_lower_bound(&h),
+        );
+    }
+}

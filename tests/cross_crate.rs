@@ -1,0 +1,145 @@
+//! Cross-crate invariants exercised through the facade's public API.
+
+#![allow(clippy::needless_range_loop)] // node-id-indexed loops by design
+use proptest::prelude::*;
+use rim::prelude::*;
+
+/// Every baseline output is a valid topology-control result on random
+/// fields: subgraph of the UDG and (except the NNF) connectivity
+/// preserving.
+#[test]
+fn baselines_are_valid_topology_control_outputs() {
+    for seed in 0..3u64 {
+        let nodes = rim::workloads::uniform_square(80, 2.0, seed);
+        let udg = unit_disk_graph(&nodes);
+        for baseline in Baseline::ALL {
+            let t = baseline.build(&nodes, &udg);
+            assert!(t.respects_range(1.0), "{} seed={seed}", baseline.name());
+            for e in t.edges() {
+                assert!(
+                    udg.has_edge(e.u, e.v),
+                    "{} emitted a non-UDG edge",
+                    baseline.name()
+                );
+            }
+            if baseline.guarantees_connectivity() {
+                assert!(
+                    t.preserves_connectivity_of(&udg),
+                    "{} broke connectivity (seed={seed})",
+                    baseline.name()
+                );
+            }
+        }
+    }
+}
+
+/// The Section 3 sandwich holds for every baseline on random fields:
+/// `deg(v) <= I(v)` and `I(G') <= Δ(UDG)`.
+#[test]
+fn interference_sandwich_on_all_baselines() {
+    let nodes = rim::workloads::gaussian_clusters(4, 20, 3.0, 0.2, 9);
+    let udg = unit_disk_graph(&nodes);
+    let delta = udg.max_degree();
+    for baseline in Baseline::ALL {
+        let t = baseline.build(&nodes, &udg);
+        let iv = interference_vector(&t);
+        for v in 0..t.num_nodes() {
+            assert!(iv[v] >= t.graph().degree(v), "{} node {v}", baseline.name());
+        }
+        assert!(
+            graph_interference(&t) <= delta,
+            "{}: I exceeds Δ",
+            baseline.name()
+        );
+    }
+}
+
+/// The exact optimum never exceeds any baseline, and the `√(γ/2)`
+/// certificate never exceeds the optimum (Lemma 5.5), across random
+/// small highway instances.
+#[test]
+fn optimum_is_sandwiched_by_certificate_and_heuristics() {
+    use rand::{Rng, SeedableRng};
+    let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+    for _ in 0..6 {
+        let n = 5 + (rng.gen::<u64>() % 3) as usize;
+        let xs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 1.8).collect();
+        let h = HighwayInstance::new(xs);
+        let nodes = h.node_set();
+        let udg = unit_disk_graph(&nodes);
+        let opt = min_interference_topology(&nodes, 1.0, SolverLimits::default());
+        assert!(opt.optimal);
+        // Certificate below optimum.
+        let cert = rim::highway::bounds::optimum_lower_bound(&h);
+        assert!((opt.interference as f64) >= cert.floor() - 1e-9);
+        // Optimum below every connectivity-preserving baseline.
+        for baseline in Baseline::ALL {
+            let t = baseline.build(&nodes, &udg);
+            if t.preserves_connectivity_of(&udg) {
+                assert!(
+                    opt.interference <= graph_interference(&t),
+                    "optimum beaten by {}",
+                    baseline.name()
+                );
+            }
+        }
+    }
+}
+
+/// Simulator runs on topology-control outputs are deterministic and
+/// account packets consistently.
+#[test]
+fn simulation_accounting_is_consistent() {
+    let nodes = rim::workloads::uniform_square(40, 1.8, 3);
+    let udg = unit_disk_graph(&nodes);
+    let t = Baseline::Emst.build(&nodes, &udg);
+    let cfg = SimConfig {
+        slots: 8_000,
+        mac: MacConfig::csma(),
+        traffic: TrafficConfig::Poisson { rate: 0.3 },
+        alpha: 2.0,
+        seed: 123,
+    };
+    let m = Simulator::new(t, cfg).run();
+    assert!(m.generated > 0);
+    // delivered + dropped <= generated (the rest is still queued).
+    assert!(m.delivered + m.dropped_no_route + m.dropped_retries <= m.generated);
+    // Collisions are a subset of transmissions.
+    assert!(m.collisions <= m.transmissions);
+    // Delivered packets took at least one hop and one slot… at least 0.
+    assert!(m.total_hops >= m.delivered);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A_apx always produces a valid connectivity-preserving topology on
+    /// arbitrary highway instances (including disconnected ones).
+    #[test]
+    fn aapx_is_always_valid(xs in proptest::collection::vec(0.0f64..6.0, 2..40)) {
+        let h = HighwayInstance::new(xs);
+        let r = a_apx(&h);
+        let udg = h.udg();
+        prop_assert!(r.topology.preserves_connectivity_of(&udg));
+        prop_assert!(r.topology.respects_range(1.0));
+    }
+
+    /// A_gen likewise, with the O(√Δ) bound.
+    #[test]
+    fn agen_is_always_valid(xs in proptest::collection::vec(0.0f64..4.0, 2..60)) {
+        let h = HighwayInstance::new(xs);
+        let r = a_gen(&h);
+        prop_assert!(r.topology.preserves_connectivity_of(&h.udg()));
+        let i = graph_interference(&r.topology) as f64;
+        let delta = h.max_degree() as f64;
+        prop_assert!(i <= 9.0 * delta.sqrt() + 6.0, "I={i} Δ={delta}");
+    }
+
+    /// γ equals the interference of the linear connection whenever that
+    /// connection is feasible.
+    #[test]
+    fn gamma_matches_linear_interference(xs in proptest::collection::vec(0.0f64..1.0, 2..30)) {
+        let h = HighwayInstance::new(xs);
+        prop_assert_eq!(gamma(&h), graph_interference(&h.linear_topology()));
+    }
+}
