@@ -1,27 +1,19 @@
 //! T56 — Theorem 5.6: `A_apx` end to end (γ computation + decision +
 //! construction) on mixed highway families.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::timing::Harness;
 use rim_highway::{a_apx, exponential_chain, gamma, HighwayInstance};
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("a_apx");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("a_apx");
     let instances: Vec<(&str, HighwayInstance)> = vec![
         ("uniform_1000", rim_workloads::uniform_highway(1000, 10.0, 7)),
         ("frag_exp", rim_workloads::fragmented_exponential(6, 32, 7)),
         ("exp_256", exponential_chain(256)),
     ];
-    for (name, h) in &instances {
-        g.bench_with_input(BenchmarkId::new("build", name), h, |b, h| {
-            b.iter(|| a_apx(h));
-        });
-        g.bench_with_input(BenchmarkId::new("gamma", name), h, |b, h| {
-            b.iter(|| gamma(h));
-        });
+    for (name, inst) in &instances {
+        h.bench(&format!("build/{name}"), || a_apx(inst));
+        h.bench(&format!("gamma/{name}"), || gamma(inst));
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

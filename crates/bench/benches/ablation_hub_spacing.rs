@@ -1,22 +1,16 @@
 //! A1 — ablation: `A_gen` hub spacing (construction cost per spacing;
 //! the interference effect is reported by the `figures` binary).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::timing::Harness;
 use rim_highway::a_gen::a_gen_with_spacing;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("agen_spacing");
-    g.sample_size(10);
+fn main() {
+    let mut harness = Harness::new("agen_spacing");
     let h = rim_workloads::uniform_highway(2_000, 20.0, 11);
     let delta = h.max_degree();
     let sqrt_d = (delta as f64).sqrt().ceil() as usize;
     for k in [1usize, sqrt_d, delta.max(1)] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| a_gen_with_spacing(&h, k));
-        });
+        harness.bench(&format!("{k}"), || a_gen_with_spacing(&h, k));
     }
-    g.finish();
+    harness.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -2,17 +2,11 @@
 //! under different switching-threshold multipliers. The interference
 //! effect per threshold is reported by `figures -- A2`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rim_bench::experiments::ablation_threshold;
+use rim_bench::timing::Harness;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("ablation_threshold");
-    g.sample_size(10);
-    g.bench_function(BenchmarkId::from_parameter("families_x_thresholds"), |b| {
-        b.iter(|| ablation_threshold(13));
-    });
-    g.finish();
+fn main() {
+    let mut h = Harness::new("ablation_threshold");
+    h.bench("families_x_thresholds", || ablation_threshold(13));
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

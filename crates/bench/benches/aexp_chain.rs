@@ -1,26 +1,18 @@
 //! F8 — Figure 8 / Theorem 5.1: `A_exp` on exponential node chains.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::timing::Harness;
 use rim_highway::a_exp::{a_exp, a_exp_reference};
 use rim_highway::exponential_chain;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("a_exp");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("a_exp");
     for n in [64usize, 128, 256] {
         let chain = exponential_chain(n);
-        g.bench_with_input(BenchmarkId::new("fast", n), &chain, |b, chain| {
-            b.iter(|| a_exp(chain));
-        });
+        h.bench(&format!("fast/{n}"), || a_exp(&chain));
         if n <= 128 {
             // The literal O(n³) algorithm, for the speedup headline.
-            g.bench_with_input(BenchmarkId::new("reference", n), &chain, |b, chain| {
-                b.iter(|| a_exp_reference(chain));
-            });
+            h.bench(&format!("reference/{n}"), || a_exp_reference(&chain));
         }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,20 +1,14 @@
 //! F9 — Figure 9 / Theorem 5.4: `A_gen` throughput on large highway
 //! instances.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::timing::Harness;
 use rim_highway::a_gen;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("a_gen");
-    g.sample_size(10);
+fn main() {
+    let mut harness = Harness::new("a_gen");
     for n in [1_000usize, 5_000, 20_000] {
         let h = rim_workloads::uniform_highway(n, n as f64 / 100.0, 17);
-        g.bench_with_input(BenchmarkId::from_parameter(n), &h, |b, h| {
-            b.iter(|| a_gen(h));
-        });
+        harness.bench(&format!("{n}"), || a_gen(&h));
     }
-    g.finish();
+    harness.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

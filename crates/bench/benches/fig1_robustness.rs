@@ -1,19 +1,13 @@
 //! F1 — Figure 1: cost of the node-arrival robustness experiment
 //! (both interference measures, before/after), per cluster size.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rim_bench::experiments::fig1_robustness;
+use rim_bench::timing::Harness;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fig1_robustness");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("fig1_robustness");
     for n in [50usize, 100, 200] {
-        g.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
-            b.iter(|| fig1_robustness(&[n], 99));
-        });
+        h.bench(&format!("{n}"), || fig1_robustness(&[n], 99));
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,33 +1,23 @@
 //! Kernel microbench: the receiver-centric interference computation,
 //! naive `O(n²)` vs grid-accelerated, plus the sender-centric measure.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::timing::Harness;
 use rim_core::receiver::{interference_vector, interference_vector_naive};
 use rim_core::sender::sender_graph_interference;
 use rim_topology_control::emst::euclidean_mst;
 use rim_udg::udg::unit_disk_graph;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interference_vector");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("interference_vector");
     for n in [500usize, 2_000] {
         let nodes = rim_workloads::uniform_square(n, (n as f64).sqrt() / 10.0, 3);
         let udg = unit_disk_graph(&nodes);
         let t = euclidean_mst(&nodes, &udg);
-        g.bench_with_input(BenchmarkId::new("grid", n), &t, |b, t| {
-            b.iter(|| interference_vector(t));
-        });
-        g.bench_with_input(BenchmarkId::new("naive", n), &t, |b, t| {
-            b.iter(|| interference_vector_naive(t));
-        });
+        h.bench(&format!("grid/{n}"), || interference_vector(&t));
+        h.bench(&format!("naive/{n}"), || interference_vector_naive(&t));
         if n <= 500 {
-            g.bench_with_input(BenchmarkId::new("sender", n), &t, |b, t| {
-                b.iter(|| sender_graph_interference(t));
-            });
+            h.bench(&format!("sender/{n}"), || sender_graph_interference(&t));
         }
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -1,21 +1,17 @@
 //! T52 — Theorem 5.2: the exact branch-and-bound optimum on small
 //! exponential chains (the quantity the lower bound is checked against).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::timing::Harness;
 use rim_core::optimal::{min_interference_topology, SolverLimits};
 use rim_highway::exponential_chain;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("exact_optimum");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("exact_optimum");
     for n in [6usize, 8, 9] {
         let nodes = exponential_chain(n).node_set();
-        g.bench_with_input(BenchmarkId::from_parameter(n), &nodes, |b, nodes| {
-            b.iter(|| min_interference_topology(nodes, 1.0, SolverLimits::default()));
+        h.bench(&format!("{n}"), || {
+            min_interference_topology(&nodes, 1.0, SolverLimits::default())
         });
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

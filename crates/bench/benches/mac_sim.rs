@@ -1,14 +1,13 @@
 //! S1 — MAC simulation throughput: slots/second over controlled
 //! topologies (the substrate behind the collisions experiment).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rim_bench::timing::Harness;
 use rim_sim::{MacConfig, SimConfig, Simulator, TrafficConfig};
 use rim_topology_control::Baseline;
 use rim_udg::udg::unit_disk_graph;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("mac_sim");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("mac_sim");
     let nodes = rim_workloads::uniform_square(60, 2.2, 2025);
     let udg = unit_disk_graph(&nodes);
     for baseline in [Baseline::Emst, Baseline::Nnf, Baseline::Life] {
@@ -21,14 +20,7 @@ fn bench(c: &mut Criterion) {
             seed: 7,
         };
         let sim = Simulator::new(t, cfg);
-        g.bench_with_input(
-            BenchmarkId::from_parameter(baseline.name()),
-            &sim,
-            |b, sim| b.iter(|| sim.run()),
-        );
+        h.bench(baseline.name(), || sim.run());
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

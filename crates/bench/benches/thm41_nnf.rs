@@ -1,19 +1,13 @@
 //! T41 — Theorem 4.1 / Figures 3–5: NNF and witness interference on the
 //! two-chain construction.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rim_bench::experiments::thm41_nnf_vs_witness;
+use rim_bench::timing::Harness;
 
-fn bench(c: &mut Criterion) {
-    let mut g = c.benchmark_group("thm41_nnf_vs_witness");
-    g.sample_size(10);
+fn main() {
+    let mut h = Harness::new("thm41_nnf_vs_witness");
     for k in [16usize, 64, 128] {
-        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| thm41_nnf_vs_witness(&[k]));
-        });
+        h.bench(&format!("{k}"), || thm41_nnf_vs_witness(&[k]));
     }
-    g.finish();
+    h.finish();
 }
-
-criterion_group!(benches, bench);
-criterion_main!(benches);

@@ -11,6 +11,8 @@
 //! P1 M1 A1 A2 B2D (see DESIGN.md for the paper artifact each id
 //! reproduces).
 
+#![forbid(unsafe_code)]
+
 use rim_bench::experiments as ex;
 use rim_bench::record::{render_table, write_csv, Row};
 use std::path::{Path, PathBuf};

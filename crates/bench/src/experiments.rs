@@ -112,6 +112,7 @@ pub fn fig7_linear_chain(ns: &[usize]) -> Vec<Row> {
         let t = c.linear_topology();
         let iv = interference_vector(&t);
         Row::new("F7", "n", n as f64)
+            // rim-lint: allow(no-unwrap-in-lib) — chains have >= 2 nodes, iv non-empty
             .col("I_linear", *iv.iter().max().unwrap() as f64)
             .col("I_leftmost", iv[0] as f64)
             .col("expected", (n - 2) as f64)
@@ -166,10 +167,9 @@ pub fn fig9_agen(densities: &[usize], seed: u64) -> Vec<Row> {
 /// Theorem 5.6 (small-instance branch): exact approximation ratio of
 /// `A_apx` against the branch-and-bound optimum.
 pub fn thm56_ratio_small(trials: usize, seed: u64) -> Vec<Row> {
-    use rand::{Rng, SeedableRng};
     let params: Vec<u64> = (0..trials as u64).map(|t| seed.wrapping_add(t)).collect();
     parallel_map(params, |s| {
-        let mut rng = rand::rngs::SmallRng::seed_from_u64(s);
+        let mut rng = rim_rng::SmallRng::seed_from_u64(s);
         let n = 6 + (s % 3) as usize;
         let xs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0).collect();
         let h = HighwayInstance::new(xs);

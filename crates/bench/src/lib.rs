@@ -1,6 +1,9 @@
 //! Shared harness for the experiment suite: experiment records, CSV
-//! export, a parallel sweep runner, and the per-figure data generators
-//! used by both the `figures` binary and the Criterion benches.
+//! export, a parallel sweep runner, a zero-dependency timing harness,
+//! and the per-figure data generators used by both the `figures` binary
+//! and the `[[bench]]` targets.
+
+#![forbid(unsafe_code)]
 
 // Node ids double as indices throughout this workspace; indexed loops
 // over `0..n` mirror the paper's notation and often touch several arrays.
@@ -10,3 +13,4 @@ pub mod experiments;
 pub mod record;
 pub mod stats;
 pub mod sweep;
+pub mod timing;

@@ -1,13 +1,12 @@
 //! Experiment result records and CSV export.
 
-use serde::Serialize;
 use std::fmt::Write as _;
 use std::io::Write as _;
 use std::path::Path;
 
 /// One measured row of an experiment: a named experiment id, the swept
 /// parameter, and the measured columns.
-#[derive(Debug, Clone, Serialize, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Row {
     /// Experiment id (e.g. `"F8"` for Figure 8).
     pub experiment: &'static str,

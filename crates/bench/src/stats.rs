@@ -54,6 +54,7 @@ pub fn pearson(xs: &[f64], ys: &[f64]) -> Option<f64> {
         syy += (y - my) * (y - my);
         sxy += (x - mx) * (y - my);
     }
+    // rim-lint: allow(float-eq) — exact zero-variance guard
     if sxx == 0.0 || syy == 0.0 {
         return None;
     }

@@ -5,7 +5,7 @@
 //! creation: at most one thread per logical CPU) and returns results in
 //! input order.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// Applies `f` to every item of `params` in parallel, preserving order.
 ///
@@ -29,6 +29,11 @@ where
         return params.into_iter().map(f).collect();
     }
 
+    // Poisoned locks only arise after a worker panic, which the scope
+    // below re-raises anyway — so recover the inner value and continue.
+    fn relock<T>(r: std::sync::LockResult<T>) -> T {
+        r.unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
     let work: Mutex<std::vec::IntoIter<(usize, P)>> =
         Mutex::new(params.into_iter().enumerate().collect::<Vec<_>>().into_iter());
     let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
@@ -36,11 +41,11 @@ where
     std::thread::scope(|scope| {
         for _ in 0..threads {
             scope.spawn(|| loop {
-                let item = work.lock().next();
+                let item = relock(work.lock()).next();
                 match item {
                     Some((i, p)) => {
                         let r = f(p);
-                        results.lock()[i] = Some(r);
+                        relock(results.lock())[i] = Some(r);
                     }
                     None => break,
                 }
@@ -48,9 +53,9 @@ where
         }
     });
 
-    results
-        .into_inner()
+    relock(results.into_inner())
         .into_iter()
+        // rim-lint: allow(no-unwrap-in-lib) — every index is written exactly once
         .map(|r| r.expect("worker failed to produce a result"))
         .collect()
 }

@@ -1,0 +1,207 @@
+//! Minimal benchmark timing harness (the in-repo `criterion`
+//! replacement).
+//!
+//! Each `[[bench]]` target (with `harness = false`) builds a [`Harness`]
+//! named after its benchmark group, registers cases with [`Harness::bench`],
+//! and calls [`Harness::finish`]. A case runs `WARMUP_ITERS` untimed
+//! warmup iterations followed by `TIMED_ITERS` timed ones; mean/p50/p95
+//! per-iteration wall time is printed as a table and appended as JSONL
+//! under `results/` so the `BENCH_*.json` trajectory stays machine
+//! comparable across PRs.
+//!
+//! Bench ids keep the `group/function/param` shape Criterion used
+//! (e.g. `interference_vector/grid/500`), so historical names remain
+//! stable.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+/// Untimed shake-out iterations before measurement.
+pub const WARMUP_ITERS: u32 = 3;
+/// Timed iterations per case.
+pub const TIMED_ITERS: u32 = 10;
+
+/// Measured statistics of one benchmark case (per-iteration times).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CaseResult {
+    /// Full case id, `group/rest`.
+    pub id: String,
+    /// Number of timed iterations.
+    pub iters: u32,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Median per-iteration time in nanoseconds.
+    pub p50_ns: f64,
+    /// 95th-percentile per-iteration time in nanoseconds.
+    pub p95_ns: f64,
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample; `q` in `[0, 1]`.
+fn percentile(sorted_ns: &[f64], q: f64) -> f64 {
+    if sorted_ns.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted_ns.len() - 1) as f64).round() as usize;
+    sorted_ns[rank.min(sorted_ns.len() - 1)]
+}
+
+/// Times one closure: warmup, then `TIMED_ITERS` timed runs.
+fn measure<R>(mut f: impl FnMut() -> R) -> (f64, f64, f64) {
+    for _ in 0..WARMUP_ITERS {
+        std::hint::black_box(f());
+    }
+    let mut samples = Vec::with_capacity(TIMED_ITERS as usize);
+    for _ in 0..TIMED_ITERS {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        samples.push(t0.elapsed().as_nanos() as f64);
+    }
+    samples.sort_unstable_by(f64::total_cmp);
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    (mean, percentile(&samples, 0.50), percentile(&samples, 0.95))
+}
+
+/// Renders one case as a JSONL record. Ids are plain ASCII bench names;
+/// quotes/backslashes are escaped anyway so output is always valid JSON.
+fn jsonl_record(group: &str, r: &CaseResult) -> String {
+    fn esc(s: &str) -> String {
+        s.replace('\\', "\\\\").replace('"', "\\\"")
+    }
+    format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p95_ns\":{:.1}}}",
+        esc(group),
+        esc(&r.id),
+        r.iters,
+        r.mean_ns,
+        r.p50_ns,
+        r.p95_ns
+    )
+}
+
+/// A benchmark group: accumulates case results, then reports.
+pub struct Harness {
+    group: String,
+    results: Vec<CaseResult>,
+}
+
+impl Harness {
+    /// Opens a group; `group` conventionally matches the historical
+    /// Criterion group name of the bench target.
+    pub fn new(group: &str) -> Self {
+        println!("benchmark group: {group}");
+        Harness {
+            group: group.to_string(),
+            results: Vec::new(),
+        }
+    }
+
+    /// Measures one case. `id` is the part after the group
+    /// (e.g. `"grid/500"`); the stored id is `group/id`.
+    pub fn bench<R>(&mut self, id: &str, f: impl FnMut() -> R) {
+        let (mean_ns, p50_ns, p95_ns) = measure(f);
+        let full = format!("{}/{}", self.group, id);
+        println!(
+            "  {full:<44} mean {:>12}  p50 {:>12}  p95 {:>12}",
+            fmt_ns(mean_ns),
+            fmt_ns(p50_ns),
+            fmt_ns(p95_ns)
+        );
+        self.results.push(CaseResult {
+            id: full,
+            iters: TIMED_ITERS,
+            mean_ns,
+            p50_ns,
+            p95_ns,
+        });
+    }
+
+    /// Finishes the group: appends JSONL under `results/` (best effort —
+    /// timing output must not fail the bench when the directory is
+    /// read-only) and returns the results for callers that post-process.
+    pub fn finish(self) -> Vec<CaseResult> {
+        let dir = std::path::Path::new("results");
+        let write = || -> std::io::Result<()> {
+            std::fs::create_dir_all(dir)?;
+            let path = dir.join(format!("bench_{}.jsonl", self.group.replace('/', "_")));
+            let mut f = std::io::BufWriter::new(
+                std::fs::OpenOptions::new().create(true).append(true).open(&path)?,
+            );
+            for r in &self.results {
+                writeln!(f, "{}", jsonl_record(&self.group, r))?;
+            }
+            f.flush()
+        };
+        if let Err(e) = write() {
+            eprintln!("warning: could not write bench JSONL: {e}");
+        }
+        self.results
+    }
+}
+
+/// Human-readable nanoseconds.
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_of_known_sample() {
+        let xs: Vec<f64> = (1..=10).map(f64::from).collect();
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 10.0);
+        assert_eq!(percentile(&xs, 0.5), 6.0); // nearest rank of 4.5 -> idx 5
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn measure_returns_ordered_stats() {
+        let mut x = 0u64;
+        let (mean, p50, p95) = measure(|| {
+            for i in 0..1_000u64 {
+                x = x.wrapping_add(i);
+            }
+            x
+        });
+        assert!(mean > 0.0);
+        assert!(p50 <= p95, "p50={p50} p95={p95}");
+    }
+
+    #[test]
+    fn jsonl_record_shape() {
+        let r = CaseResult {
+            id: "g/fast/64".into(),
+            iters: 10,
+            mean_ns: 1234.5,
+            p50_ns: 1200.0,
+            p95_ns: 2000.0,
+        };
+        let line = jsonl_record("g", &r);
+        assert!(line.starts_with("{\"group\":\"g\",\"bench\":\"g/fast/64\""));
+        assert!(line.ends_with('}'));
+        assert!(line.contains("\"iters\":10"));
+        assert!(line.contains("\"mean_ns\":1234.5"));
+    }
+
+    #[test]
+    fn escaping_quotes_in_ids() {
+        let r = CaseResult {
+            id: "a\"b".into(),
+            iters: 1,
+            mean_ns: 1.0,
+            p50_ns: 1.0,
+            p95_ns: 1.0,
+        };
+        assert!(jsonl_record("g", &r).contains("a\\\"b"));
+    }
+}

@@ -13,6 +13,8 @@
 //!
 //! Run `rim help` for the full flag reference.
 
+#![forbid(unsafe_code)]
+
 mod args;
 mod commands;
 

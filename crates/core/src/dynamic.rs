@@ -123,6 +123,7 @@ impl DynamicInterference {
         let was_tx = self.graph_deg_snapshot[u];
         let is_tx = self.graph.degree(u) > 0;
         self.graph_deg_snapshot[u] = is_tx;
+        // rim-lint: allow(float-eq) — exact no-op check: radii are dist() copies
         if new_r == old_r && was_tx == is_tx {
             return;
         }

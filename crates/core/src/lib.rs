@@ -32,16 +32,25 @@
 //!   branch-and-bound over radius assignments,
 //! * [`analysis`] — interference summaries used by the experiments.
 
+#![forbid(unsafe_code)]
+
 // Node ids double as indices throughout this workspace; indexed loops
 // over `0..n` mirror the paper's notation and often touch several arrays.
 #![allow(clippy::needless_range_loop)]
 
+/// Interference summaries and sanity bounds for experiment reporting.
 pub mod analysis;
+/// Incrementally maintained interference under link insertions/removals.
 pub mod dynamic;
+/// Data-gathering trees — the setting the interference model came from.
 pub mod gathering;
+/// Exact minimum-interference connected topologies (branch and bound).
 pub mod optimal;
+/// The receiver-centric interference measure (Definitions 3.1 and 3.2).
 pub mod receiver;
+/// Robustness of the interference measure under node arrival/departure.
 pub mod robustness;
+/// The sender-centric link-coverage measure of Burkhart et al. (MobiHoc 2004).
 pub mod sender;
 
 pub use analysis::InterferenceSummary;

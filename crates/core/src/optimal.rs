@@ -109,6 +109,7 @@ pub fn min_interference_topology(
             c
         })
         .collect();
+    // rim-lint: allow(no-unwrap-in-lib) — candidate_radii always contains 0.0
     let max_cand: Vec<f64> = cands.iter().map(|c| *c.last().unwrap()).collect();
 
     // Incumbent: the MST of the UDG (tight assignment, always feasible).

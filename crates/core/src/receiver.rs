@@ -54,8 +54,10 @@ pub fn interference_vector_naive(t: &Topology) -> Vec<usize> {
 /// For every sender `u` a disk range query of radius `r_u` collects the
 /// covered nodes; expected time `O(n + Σ_u I-contribution(u))` for bounded
 /// densities. Produces exactly the same counts as
-/// [`interference_vector_naive`] (the range query uses the same closed
-/// predicate on squared distances) — a property-tested invariant.
+/// [`interference_vector_naive`]: the range query evaluates the same
+/// closed predicate at distance level (`dist(u,v) <= r_u`, never on
+/// squares — `r_u` is itself a `dist()` result, and squaring would
+/// break exact boundary ties) — a property-tested invariant.
 pub fn interference_vector(t: &Topology) -> Vec<usize> {
     let n = t.num_nodes();
     if n == 0 {

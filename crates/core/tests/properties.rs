@@ -1,127 +1,200 @@
-//! Property-based tests for the interference model.
+//! Property-based tests for the interference model, driven by the
+//! in-repo seeded harness (`rim_rng::prop`).
 
 #![allow(clippy::needless_range_loop)] // node-id-indexed loops by design
-use proptest::prelude::*;
 use rim_core::receiver::{graph_interference, interference_vector, interference_vector_naive};
 use rim_core::robustness::contribution_of;
 use rim_core::sender::{edge_coverage, sender_graph_interference};
 use rim_geom::Point;
+use rim_rng::prop::check_default;
+use rim_rng::{prop_ensure, prop_ensure_eq, SmallRng};
 use rim_udg::udg::unit_disk_graph;
 use rim_udg::{NodeSet, Topology};
 
 /// Random node set plus a random forest-ish edge selection over it.
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    (2usize..16).prop_flat_map(|n| {
-        let pts = proptest::collection::vec((0.0f64..2.0, 0.0f64..2.0), n..=n);
-        let edge_picks = proptest::collection::vec((0..n, 0..n), 0..2 * n);
-        (pts, edge_picks).prop_map(|(coords, picks)| {
-            let ns = NodeSet::new(coords.into_iter().map(|(x, y)| Point::new(x, y)).collect());
-            let mut seen = std::collections::HashSet::new();
-            let mut pairs = Vec::new();
-            for (a, b) in picks {
-                if a != b && seen.insert((a.min(b), a.max(b))) {
-                    pairs.push((a, b));
-                }
-            }
-            Topology::from_pairs(ns, &pairs)
-        })
-    })
+fn arb_topology(rng: &mut SmallRng) -> Topology {
+    let n = rng.gen_range(2usize..16);
+    let coords: Vec<Point> = (0..n)
+        .map(|_| Point::new(rng.gen_range(0.0f64..2.0), rng.gen_range(0.0f64..2.0)))
+        .collect();
+    let ns = NodeSet::new(coords);
+    let mut seen = std::collections::HashSet::new();
+    let mut pairs = Vec::new();
+    for _ in 0..rng.gen_range(0usize..2 * n) {
+        let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if a != b && seen.insert((a.min(b), a.max(b))) {
+            pairs.push((a, b));
+        }
+    }
+    Topology::from_pairs(ns, &pairs)
 }
 
-proptest! {
-    #[test]
-    fn fast_interference_matches_naive(t in arb_topology()) {
-        prop_assert_eq!(interference_vector(&t), interference_vector_naive(&t));
-    }
+#[test]
+fn fast_interference_matches_naive() {
+    check_default("fast_interference_matches_naive", arb_topology, |t| {
+        prop_ensure_eq!(interference_vector(t), interference_vector_naive(t));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn degree_lower_bounds_interference(t in arb_topology()) {
-        let iv = interference_vector(&t);
+#[test]
+fn degree_lower_bounds_interference() {
+    check_default("degree_lower_bounds_interference", arb_topology, |t| {
+        let iv = interference_vector(t);
         for v in 0..t.num_nodes() {
-            prop_assert!(iv[v] >= t.graph().degree(v),
-                "I({v}) = {} < deg = {}", iv[v], t.graph().degree(v));
+            prop_ensure!(
+                iv[v] >= t.graph().degree(v),
+                "I({v}) = {} < deg = {}",
+                iv[v],
+                t.graph().degree(v)
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn interference_bounded_by_n_minus_one(t in arb_topology()) {
-        let n = t.num_nodes();
-        prop_assert!(graph_interference(&t) < n);
-    }
+#[test]
+fn interference_bounded_by_n_minus_one() {
+    check_default("interference_bounded_by_n_minus_one", arb_topology, |t| {
+        prop_ensure!(graph_interference(t) < t.num_nodes());
+        Ok(())
+    });
+}
 
-    #[test]
-    fn per_node_contribution_is_binary(t in arb_topology()) {
+#[test]
+fn per_node_contribution_is_binary() {
+    check_default("per_node_contribution_is_binary", arb_topology, |t| {
         for u in 0..t.num_nodes() {
-            let c = contribution_of(&t, u);
-            prop_assert_eq!(c[u], 0, "no self-interference");
+            let c = contribution_of(t, u);
+            prop_ensure_eq!(c[u], 0);
             for &x in &c {
-                prop_assert!(x <= 1);
+                prop_ensure!(x <= 1);
             }
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn radii_equal_farthest_neighbor(t in arb_topology()) {
+#[test]
+fn radii_equal_farthest_neighbor() {
+    check_default("radii_equal_farthest_neighbor", arb_topology, |t| {
         for u in 0..t.num_nodes() {
-            let far = t.graph()
+            let far = t
+                .graph()
                 .neighbors(u)
                 .map(|v| t.nodes().dist(u, v))
                 .fold(0.0f64, f64::max);
-            prop_assert_eq!(t.radius(u), far);
+            prop_ensure!(
+                t.radius(u).total_cmp(&far).is_eq(),
+                "radius({u}) = {} != farthest neighbor {}",
+                t.radius(u),
+                far
+            );
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn sender_measure_covers_at_least_endpoints(t in arb_topology()) {
+#[test]
+fn sender_measure_covers_at_least_endpoints() {
+    check_default("sender_measure_covers_at_least_endpoints", arb_topology, |t| {
         for e in t.edges() {
-            let cov = edge_coverage(&t, e.u, e.v);
-            prop_assert!(cov >= 2, "coverage below endpoint count");
-            prop_assert!(cov <= t.num_nodes());
+            let cov = edge_coverage(t, e.u, e.v);
+            prop_ensure!(cov >= 2, "coverage below endpoint count");
+            prop_ensure!(cov <= t.num_nodes());
         }
         if t.num_edges() > 0 {
-            prop_assert!(sender_graph_interference(&t) >= 2);
+            prop_ensure!(sender_graph_interference(t) >= 2);
         } else {
-            prop_assert_eq!(sender_graph_interference(&t), 0);
+            prop_ensure_eq!(sender_graph_interference(t), 0);
         }
-    }
+        Ok(())
+    });
+}
 
-    /// The structural robustness fact: freezing the existing topology and
-    /// adding a node with ANY radius raises each old node's interference
-    /// by at most 1.
-    #[test]
-    fn frozen_arrival_adds_at_most_one(t in arb_topology(), x in 0.0f64..2.0, y in 0.0f64..2.0, link in proptest::bool::ANY) {
-        let before = interference_vector(&t);
-        let old_n = t.num_nodes();
-        let grown = t.nodes().with_node(Point::new(x, y));
-        let mut pairs: Vec<(usize, usize)> = t.edges().iter().map(|e| e.pair()).collect();
-        if link {
-            // Attach the newcomer to node 0 — node 0's radius may grow,
-            // but the *newcomer's* contribution stays <= 1; restrict the
-            // comparison to nodes whose radii were untouched, i.e. check
-            // only the newcomer's contribution directly.
-            pairs.push((0, old_n));
-        }
-        let after = Topology::from_pairs(grown, &pairs);
-        let contribution = contribution_of(&after, old_n);
-        for v in 0..old_n {
-            prop_assert!(contribution[v] <= 1);
-        }
-        if !link {
-            // Newcomer isolated: nothing changes at all for old nodes.
-            let after_iv = interference_vector(&after);
-            for v in 0..old_n {
-                prop_assert_eq!(after_iv[v], before[v]);
+/// The structural robustness fact: freezing the existing topology and
+/// adding a node with ANY radius raises each old node's interference
+/// by at most 1.
+#[test]
+fn frozen_arrival_adds_at_most_one() {
+    check_default(
+        "frozen_arrival_adds_at_most_one",
+        |rng| {
+            let t = arb_topology(rng);
+            let p = Point::new(rng.gen_range(0.0f64..2.0), rng.gen_range(0.0f64..2.0));
+            let link: bool = rng.gen();
+            (t, p, link)
+        },
+        |(t, p, link)| {
+            let before = interference_vector(t);
+            let old_n = t.num_nodes();
+            let grown = t.nodes().with_node(*p);
+            let mut pairs: Vec<(usize, usize)> = t.edges().iter().map(|e| e.pair()).collect();
+            if *link {
+                // Attach the newcomer to node 0 — node 0's radius may grow,
+                // but the *newcomer's* contribution stays <= 1; restrict the
+                // comparison to nodes whose radii were untouched, i.e. check
+                // only the newcomer's contribution directly.
+                pairs.push((0, old_n));
             }
-        }
-    }
+            let after = Topology::from_pairs(grown, &pairs);
+            let contribution = contribution_of(&after, old_n);
+            for v in 0..old_n {
+                prop_ensure!(contribution[v] <= 1);
+            }
+            if !link {
+                // Newcomer isolated: nothing changes at all for old nodes.
+                let after_iv = interference_vector(&after);
+                for v in 0..old_n {
+                    prop_ensure_eq!(after_iv[v], before[v]);
+                }
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn udg_max_degree_upper_bounds_subgraph_interference(t in arb_topology()) {
-        // Only meaningful when the topology is a subgraph of the UDG
-        // (edges within unit range).
-        if t.respects_range(1.0) {
-            let udg = unit_disk_graph(t.nodes());
-            prop_assert!(graph_interference(&t) <= udg.max_degree());
-        }
-    }
+#[test]
+fn udg_max_degree_upper_bounds_subgraph_interference() {
+    check_default(
+        "udg_max_degree_upper_bounds_subgraph_interference",
+        arb_topology,
+        |t| {
+            // Only meaningful when the topology is a subgraph of the UDG
+            // (edges within unit range).
+            if t.respects_range(1.0) {
+                let udg = unit_disk_graph(t.nodes());
+                prop_ensure!(graph_interference(t) <= udg.max_degree());
+            }
+            Ok(())
+        },
+    );
+}
+
+/// Named regression promoted from the retired `proptest` seed corpus
+/// (`properties.proptest-regressions`): two nodes joined by a single
+/// link whose radius *exactly* equals their distance. The closed
+/// predicate of Definition 3.1 must count each endpoint as covering the
+/// other — the fast grid path and the naive path must agree on this
+/// boundary tie, which is exactly where distance-level vs squared-level
+/// comparison discipline matters.
+#[test]
+fn regression_boundary_tie_two_node_link() {
+    let t = Topology::from_pairs(
+        NodeSet::new(vec![
+            Point::new(0.0, 0.4343472666960413),
+            Point::new(0.8824422616998076, 0.0),
+        ]),
+        &[(0, 1)],
+    );
+    // The link length is the shared radius of both endpoints.
+    let d = t.nodes().dist(0, 1);
+    assert!(t.radius(0).total_cmp(&d).is_eq());
+    assert_eq!(
+        interference_vector(&t),
+        interference_vector_naive(&t),
+        "fast and naive disagree on a boundary tie"
+    );
+    assert_eq!(interference_vector(&t), vec![1, 1]);
+    assert_eq!(graph_interference(&t), 1);
 }

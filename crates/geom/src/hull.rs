@@ -53,6 +53,7 @@ pub fn convex_hull(points: &[Point]) -> Vec<usize> {
 
     if hull.len() < 2 {
         // Fully collinear input: return the two extremes.
+        // rim-lint: allow(no-unwrap-in-lib) — order is non-empty here
         return vec![order[0], *order.last().unwrap()];
     }
     hull

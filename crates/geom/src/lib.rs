@@ -27,6 +27,8 @@
 //! distances remain fine for *relative* comparisons such as
 //! nearest-neighbor searches, where both sides are raw `dist_sq` values.
 
+#![forbid(unsafe_code)]
+
 // Node ids double as indices throughout this workspace; indexed loops
 // over `0..n` mirror the paper's notation and often touch several arrays.
 #![allow(clippy::needless_range_loop)]

@@ -1,15 +1,18 @@
 //! Property-based tests: the fast geometric structures must agree with
-//! their brute-force counterparts on arbitrary inputs.
+//! their brute-force counterparts on arbitrary inputs (seeded in-repo
+//! harness, `rim_rng::prop`).
 
-use proptest::prelude::*;
 use rim_geom::{closest_pair, closest_pair_brute_force, convex_hull, KdTree, Point, UniformGrid};
+use rim_rng::prop::check_default;
+use rim_rng::{prop_ensure, prop_ensure_eq, SmallRng};
 
-fn arb_point() -> impl Strategy<Value = Point> {
-    (-10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y)| Point::new(x, y))
+fn arb_point(rng: &mut SmallRng) -> Point {
+    Point::new(rng.gen_range(-10.0f64..10.0), rng.gen_range(-10.0f64..10.0))
 }
 
-fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
-    proptest::collection::vec(arb_point(), 0..max)
+fn arb_points(rng: &mut SmallRng, max: usize) -> Vec<Point> {
+    let n = rng.gen_range(0..max);
+    (0..n).map(|_| arb_point(rng)).collect()
 }
 
 fn brute_disk(points: &[Point], c: Point, r: f64) -> Vec<usize> {
@@ -18,80 +21,142 @@ fn brute_disk(points: &[Point], c: Point, r: f64) -> Vec<usize> {
         .collect()
 }
 
-proptest! {
-    #[test]
-    fn grid_disk_query_matches_brute_force(
-        pts in arb_points(60),
-        q in arb_point(),
-        r in 0.0f64..5.0,
-        cell in 0.05f64..3.0,
-    ) {
-        let grid = UniformGrid::build(&pts, cell);
-        let mut got = grid.query_disk(q, r);
-        got.sort_unstable();
-        prop_assert_eq!(got, brute_disk(&pts, q, r));
-    }
+#[test]
+fn grid_disk_query_matches_brute_force() {
+    check_default(
+        "grid_disk_query_matches_brute_force",
+        |rng| {
+            (
+                arb_points(rng, 60),
+                arb_point(rng),
+                rng.gen_range(0.0f64..5.0),
+                rng.gen_range(0.05f64..3.0),
+            )
+        },
+        |(pts, q, r, cell)| {
+            let grid = UniformGrid::build(pts, *cell);
+            let mut got = grid.query_disk(*q, *r);
+            got.sort_unstable();
+            prop_ensure_eq!(got, brute_disk(pts, *q, *r));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn kdtree_disk_query_matches_brute_force(
-        pts in arb_points(60),
-        q in arb_point(),
-        r in 0.0f64..5.0,
-    ) {
-        let tree = KdTree::build(&pts);
-        prop_assert_eq!(tree.query_disk(q, r), brute_disk(&pts, q, r));
-    }
+#[test]
+fn kdtree_disk_query_matches_brute_force() {
+    check_default(
+        "kdtree_disk_query_matches_brute_force",
+        |rng| (arb_points(rng, 60), arb_point(rng), rng.gen_range(0.0f64..5.0)),
+        |(pts, q, r)| {
+            let tree = KdTree::build(pts);
+            prop_ensure_eq!(tree.query_disk(*q, *r), brute_disk(pts, *q, *r));
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn kdtree_nearest_matches_brute_force(pts in arb_points(60), q in arb_point()) {
-        let tree = KdTree::build(&pts);
-        let got = tree.nearest(q, usize::MAX);
-        let want = (0..pts.len()).map(|i| pts[i].dist_sq(&q)).min_by(f64::total_cmp);
-        match (got, want) {
-            (None, None) => {}
-            (Some(i), Some(d)) => prop_assert_eq!(pts[i].dist_sq(&q), d),
-            _ => prop_assert!(false, "one of fast/brute found a point, the other did not"),
-        }
-    }
+#[test]
+fn kdtree_nearest_matches_brute_force() {
+    check_default(
+        "kdtree_nearest_matches_brute_force",
+        |rng| (arb_points(rng, 60), arb_point(rng)),
+        |(pts, q)| {
+            let tree = KdTree::build(pts);
+            let got = tree.nearest(*q, usize::MAX);
+            let want = (0..pts.len()).map(|i| pts[i].dist_sq(q)).min_by(f64::total_cmp);
+            match (got, want) {
+                (None, None) => Ok(()),
+                (Some(i), Some(d)) => {
+                    prop_ensure!(
+                        pts[i].dist_sq(q).total_cmp(&d).is_eq(),
+                        "kd nearest at {} not minimal",
+                        i
+                    );
+                    Ok(())
+                }
+                _ => Err("one of fast/brute found a point, the other did not".into()),
+            }
+        },
+    );
+}
 
-    #[test]
-    fn grid_nearest_matches_brute_force(pts in arb_points(40), q in arb_point(), cell in 0.05f64..3.0) {
-        let grid = UniformGrid::build(&pts, cell);
-        let got = grid.nearest(q, usize::MAX);
-        let want = (0..pts.len()).map(|i| pts[i].dist_sq(&q)).min_by(f64::total_cmp);
-        match (got, want) {
-            (None, None) => {}
-            (Some(i), Some(d)) => prop_assert_eq!(pts[i].dist_sq(&q), d),
-            _ => prop_assert!(false, "grid and brute force disagree on existence"),
-        }
-    }
+#[test]
+fn grid_nearest_matches_brute_force() {
+    check_default(
+        "grid_nearest_matches_brute_force",
+        |rng| (arb_points(rng, 40), arb_point(rng), rng.gen_range(0.05f64..3.0)),
+        |(pts, q, cell)| {
+            let grid = UniformGrid::build(pts, *cell);
+            let got = grid.nearest(*q, usize::MAX);
+            let want = (0..pts.len()).map(|i| pts[i].dist_sq(q)).min_by(f64::total_cmp);
+            match (got, want) {
+                (None, None) => Ok(()),
+                (Some(i), Some(d)) => {
+                    prop_ensure!(
+                        pts[i].dist_sq(q).total_cmp(&d).is_eq(),
+                        "grid nearest at {} not minimal",
+                        i
+                    );
+                    Ok(())
+                }
+                _ => Err("grid and brute force disagree on existence".into()),
+            }
+        },
+    );
+}
 
-    #[test]
-    fn closest_pair_matches_brute_force(pts in arb_points(80)) {
-        let fast = closest_pair(&pts);
-        let brute = closest_pair_brute_force(&pts);
-        match (fast, brute) {
-            (None, None) => {}
-            (Some((_, _, df)), Some((_, _, db))) => prop_assert_eq!(df, db),
-            _ => prop_assert!(false, "existence mismatch"),
-        }
-    }
+#[test]
+fn closest_pair_matches_brute_force() {
+    check_default(
+        "closest_pair_matches_brute_force",
+        |rng| arb_points(rng, 80),
+        |pts| {
+            let fast = closest_pair(pts);
+            let brute = closest_pair_brute_force(pts);
+            match (fast, brute) {
+                (None, None) => Ok(()),
+                (Some((_, _, df)), Some((_, _, db))) => {
+                    prop_ensure!(
+                        df.total_cmp(&db).is_eq(),
+                        "closest-pair distance {} != brute {}",
+                        df,
+                        db
+                    );
+                    Ok(())
+                }
+                _ => Err("existence mismatch".into()),
+            }
+        },
+    );
+}
 
-    #[test]
-    fn hull_contains_all_points(pts in arb_points(50)) {
-        let hull = convex_hull(&pts);
-        if hull.len() >= 3 {
-            // Every input point must lie inside or on the hull polygon:
-            // cross products with every CCW edge must be >= -eps (exactly
-            // zero up to f64 rounding of the cross product itself).
-            for p in &pts {
-                for k in 0..hull.len() {
-                    let a = pts[hull[k]];
-                    let b = pts[hull[(k + 1) % hull.len()]];
-                    prop_assert!(Point::cross(&a, &b, p) >= -1e-9,
-                        "point {:?} outside hull edge {:?}->{:?}", p, a, b);
+#[test]
+fn hull_contains_all_points() {
+    check_default(
+        "hull_contains_all_points",
+        |rng| arb_points(rng, 50),
+        |pts| {
+            let hull = convex_hull(pts);
+            if hull.len() >= 3 {
+                // Every input point must lie inside or on the hull polygon:
+                // cross products with every CCW edge must be >= -eps (exactly
+                // zero up to f64 rounding of the cross product itself).
+                for p in pts {
+                    for k in 0..hull.len() {
+                        let a = pts[hull[k]];
+                        let b = pts[hull[(k + 1) % hull.len()]];
+                        prop_ensure!(
+                            Point::cross(&a, &b, p) >= -1e-9,
+                            "point {:?} outside hull edge {:?}->{:?}",
+                            p,
+                            a,
+                            b
+                        );
+                    }
                 }
             }
-        }
-    }
+            Ok(())
+        },
+    );
 }

@@ -76,6 +76,7 @@ impl AdjacencyList {
         self.adj[u].remove(pos_u);
         let pos_v = self.adj[v]
             .binary_search_by_key(&(u as u32), |&(w, _)| w)
+            // rim-lint: allow(no-unwrap-in-lib) — adjacency lists are kept symmetric
             .expect("asymmetric adjacency");
         self.adj[v].remove(pos_v);
         self.num_edges -= 1;

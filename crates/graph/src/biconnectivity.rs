@@ -40,6 +40,7 @@ pub fn biconnectivity(g: &AdjacencyList) -> Biconnectivity {
 
         while !stack.is_empty() {
             let (u, cursor) = {
+                // rim-lint: allow(no-unwrap-in-lib) — guarded by !stack.is_empty()
                 let frame = stack.last_mut().expect("non-empty stack");
                 let snapshot = *frame;
                 frame.1 += 1;

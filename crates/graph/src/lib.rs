@@ -15,6 +15,8 @@
 //! * [`properties`] — degree statistics and stretch factors,
 //! * [`biconnectivity`] — bridges and cut vertices (robustness reports).
 
+#![forbid(unsafe_code)]
+
 // Node ids double as indices throughout this workspace; indexed loops
 // over `0..n` mirror the paper's notation and often touch several arrays.
 #![allow(clippy::needless_range_loop)]

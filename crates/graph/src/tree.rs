@@ -87,6 +87,7 @@ fn farthest(g: &AdjacencyList, start: usize) -> (usize, f64) {
     let mut best = (start, 0.0f64);
     while let Some(u) = stack.pop() {
         for (v, w) in g.neighbors_weighted(u) {
+            // rim-lint: allow(float-eq) — NEG_INFINITY is an exact init sentinel
             if dist[v] == f64::NEG_INFINITY {
                 dist[v] = dist[u] + w;
                 if dist[v] > best.1 {

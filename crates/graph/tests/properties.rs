@@ -1,7 +1,7 @@
-//! Property-based tests for the graph substrate.
+//! Property-based tests for the graph substrate (seeded in-repo
+//! harness, `rim_rng::prop`).
 
 #![allow(clippy::needless_range_loop)] // node-id-indexed loops by design
-use proptest::prelude::*;
 use rim_graph::adjacency::AdjacencyList;
 use rim_graph::edge::Edge;
 use rim_graph::mst::{kruskal, prim, total_weight};
@@ -9,88 +9,102 @@ use rim_graph::shortest_path::{dijkstra, hop_distances};
 use rim_graph::traversal::{components, is_connected, num_components};
 use rim_graph::tree::is_forest;
 use rim_graph::union_find::UnionFind;
+use rim_rng::prop::check_default;
+use rim_rng::{prop_ensure, prop_ensure_eq, SmallRng};
 
 /// A random simple graph as a deduplicated edge list over `n` vertices.
-fn arb_graph() -> impl Strategy<Value = (usize, Vec<Edge>)> {
-    (2usize..30).prop_flat_map(|n| {
-        let edge = (0..n, 0..n, 0.0f64..10.0).prop_filter_map("no self-loop", |(a, b, w)| {
-            (a != b).then(|| (a.min(b), a.max(b), w))
-        });
-        proptest::collection::vec(edge, 0..60).prop_map(move |raw| {
-            let mut seen = std::collections::HashSet::new();
-            let mut edges = Vec::new();
-            for (u, v, w) in raw {
-                if seen.insert((u, v)) {
-                    edges.push(Edge::new(u, v, w));
-                }
-            }
-            (n, edges)
-        })
-    })
+fn arb_graph(rng: &mut SmallRng) -> (usize, Vec<Edge>) {
+    let n = rng.gen_range(2usize..30);
+    let mut seen = std::collections::HashSet::new();
+    let mut edges = Vec::new();
+    for _ in 0..rng.gen_range(0usize..60) {
+        let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if a == b {
+            continue; // no self-loops
+        }
+        let (u, v) = (a.min(b), a.max(b));
+        if seen.insert((u, v)) {
+            edges.push(Edge::new(u, v, rng.gen_range(0.0f64..10.0)));
+        }
+    }
+    (n, edges)
 }
 
-proptest! {
-    #[test]
-    fn mst_weight_agrees_between_kruskal_and_prim((n, edges) in arb_graph()) {
-        let g = AdjacencyList::from_edges(n, &edges);
-        let k = kruskal(n, &edges);
+#[test]
+fn mst_weight_agrees_between_kruskal_and_prim() {
+    check_default("mst_weight_agrees_between_kruskal_and_prim", arb_graph, |(n, edges)| {
+        let g = AdjacencyList::from_edges(*n, edges);
+        let k = kruskal(*n, edges);
         let p = prim(&g);
-        prop_assert_eq!(k.len(), p.len());
-        prop_assert!((total_weight(&k) - total_weight(&p)).abs() < 1e-9);
+        prop_ensure_eq!(k.len(), p.len());
+        prop_ensure!((total_weight(&k) - total_weight(&p)).abs() < 1e-9);
         // An MSF is a forest preserving the component structure.
-        let kg = AdjacencyList::from_edges(n, &k);
-        prop_assert!(is_forest(&kg));
-        prop_assert_eq!(num_components(&kg), num_components(&g));
-    }
+        let kg = AdjacencyList::from_edges(*n, &k);
+        prop_ensure!(is_forest(&kg));
+        prop_ensure_eq!(num_components(&kg), num_components(&g));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn union_find_matches_bfs_components((n, edges) in arb_graph()) {
-        let g = AdjacencyList::from_edges(n, &edges);
+#[test]
+fn union_find_matches_bfs_components() {
+    check_default("union_find_matches_bfs_components", arb_graph, |(n, edges)| {
+        let g = AdjacencyList::from_edges(*n, edges);
         let labels = components(&g);
-        let mut uf = UnionFind::new(n);
-        for e in &edges {
+        let mut uf = UnionFind::new(*n);
+        for e in edges {
             uf.union(e.u, e.v);
         }
-        for a in 0..n {
-            for b in 0..n {
-                prop_assert_eq!(labels[a] == labels[b], uf.connected(a, b));
+        for a in 0..*n {
+            for b in 0..*n {
+                prop_ensure_eq!(labels[a] == labels[b], uf.connected(a, b));
             }
         }
-        prop_assert_eq!(uf.components(), num_components(&g));
-    }
+        prop_ensure_eq!(uf.components(), num_components(&g));
+        Ok(())
+    });
+}
 
-    #[test]
-    fn dijkstra_satisfies_triangle_inequality((n, edges) in arb_graph()) {
-        let g = AdjacencyList::from_edges(n, &edges);
+#[test]
+fn dijkstra_satisfies_triangle_inequality() {
+    check_default("dijkstra_satisfies_triangle_inequality", arb_graph, |(n, edges)| {
+        let g = AdjacencyList::from_edges(*n, edges);
         let sp = dijkstra(&g, 0);
         // Relaxed edges cannot improve any distance further.
-        for e in &edges {
+        for e in edges {
             if sp.dist[e.u].is_finite() {
-                prop_assert!(sp.dist[e.v] <= sp.dist[e.u] + e.weight + 1e-9);
+                prop_ensure!(sp.dist[e.v] <= sp.dist[e.u] + e.weight + 1e-9);
             }
             if sp.dist[e.v].is_finite() {
-                prop_assert!(sp.dist[e.u] <= sp.dist[e.v] + e.weight + 1e-9);
+                prop_ensure!(sp.dist[e.u] <= sp.dist[e.v] + e.weight + 1e-9);
             }
         }
         // Reachability agrees with BFS.
         let hops = hop_distances(&g, 0);
-        for v in 0..n {
-            prop_assert_eq!(sp.dist[v].is_finite(), hops[v] != usize::MAX);
+        for v in 0..*n {
+            prop_ensure_eq!(sp.dist[v].is_finite(), hops[v] != usize::MAX);
         }
-    }
+        Ok(())
+    });
+}
 
-    #[test]
-    fn connectivity_iff_single_component((n, edges) in arb_graph()) {
-        let g = AdjacencyList::from_edges(n, &edges);
-        prop_assert_eq!(is_connected(&g), num_components(&g) == 1);
-    }
+#[test]
+fn connectivity_iff_single_component() {
+    check_default("connectivity_iff_single_component", arb_graph, |(n, edges)| {
+        let g = AdjacencyList::from_edges(*n, edges);
+        prop_ensure_eq!(is_connected(&g), num_components(&g) == 1);
+        Ok(())
+    });
+}
 
-    #[test]
-    fn edges_roundtrip_through_adjacency((n, edges) in arb_graph()) {
-        let g = AdjacencyList::from_edges(n, &edges);
+#[test]
+fn edges_roundtrip_through_adjacency() {
+    check_default("edges_roundtrip_through_adjacency", arb_graph, |(n, edges)| {
+        let g = AdjacencyList::from_edges(*n, edges);
         let mut want: Vec<(usize, usize)> = edges.iter().map(Edge::pair).collect();
         want.sort_unstable();
         let got: Vec<(usize, usize)> = g.edges().iter().map(Edge::pair).collect();
-        prop_assert_eq!(got, want);
-    }
+        prop_ensure_eq!(got, want);
+        Ok(())
+    });
 }

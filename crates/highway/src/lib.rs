@@ -21,17 +21,27 @@
 //! * [`plane`] — `A_gen2`, our engineering take on the paper's stated
 //!   future work (adapting the approach to two dimensions).
 
+#![forbid(unsafe_code)]
+
 // Node ids double as indices throughout this workspace; indexed loops
 // over `0..n` mirror the paper's notation and often touch several arrays.
 #![allow(clippy::needless_range_loop)]
 
+/// Algorithm `A_apx` — the hybrid approximation (Section 5.3, Theorem 5.6).
 pub mod a_apx;
+/// Algorithm `A_exp` — scan-line hub growth (Section 5.1, Figure 8).
 pub mod a_exp;
+/// Algorithm `A_gen` — segments and hubs (Section 5.2, Figure 9).
 pub mod a_gen;
+/// Lower bounds: Theorem 5.2 and Lemma 5.5 optimality certificates.
 pub mod bounds;
+/// Critical node sets (Definition 5.2) and the instance parameter `γ`.
 pub mod critical;
+/// The exponential node chain (Figure 6) and Theorem 4.1's witness.
 pub mod exponential;
+/// Highway instances: node positions on a line.
 pub mod instance;
+/// `A_gen2` — an engineering extension of `A_gen` to the plane.
 pub mod plane;
 
 pub use a_apx::{a_apx, ApxChoice};

@@ -95,8 +95,8 @@ pub fn a_gen_2d_with_spacing(nodes: &NodeSet, spacing: usize) -> AGen2dResult {
     for key in &cell_keys {
         let members = &cells[key];
         let mut cell_hubs: Vec<usize> = members.iter().copied().step_by(spacing).collect();
-        let last = *members.last().unwrap();
-        if *cell_hubs.last().unwrap() != last {
+        let last = *members.last().unwrap(); // rim-lint: allow(no-unwrap-in-lib) — cells are non-empty
+        if *cell_hubs.last().unwrap() != last { // rim-lint: allow(no-unwrap-in-lib) — step_by yields >= 1
             cell_hubs.push(last);
         }
         for w in cell_hubs.windows(2) {
@@ -116,7 +116,7 @@ pub fn a_gen_2d_with_spacing(nodes: &NodeSet, spacing: usize) -> AGen2dResult {
                         .total_cmp(&nodes.dist_sq(v, b))
                         .then(a.cmp(&b))
                 })
-                .unwrap();
+                .unwrap(); // rim-lint: allow(no-unwrap-in-lib) — cell_hubs non-empty
             link(&mut g, v, h);
         }
         hubs.extend(cell_hubs);

@@ -17,6 +17,8 @@
 //! and round complexity the papers advertise (2 rounds, `O(Δ)` messages
 //! per node).
 
+#![forbid(unsafe_code)]
+
 pub mod lmst_proto;
 pub mod nnf_proto;
 pub mod runtime;

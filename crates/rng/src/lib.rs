@@ -1,0 +1,285 @@
+//! Deterministic in-repo PRNG and property-test harness.
+//!
+//! The workspace builds with **zero external dependencies** (an invariant
+//! machine-enforced by `rim-xtask`'s dependency audit), so randomness is
+//! provided here: [`SmallRng`] is a splitmix64-seeded xoshiro256++
+//! generator exposing the `gen` / `gen_range` / `gen_bool` surface the
+//! workspace previously used from the `rand` crate's `SmallRng`.
+//!
+//! Every generator in this workspace is seeded explicitly; there is no
+//! entropy source and no global state, so every experiment and test run
+//! is bit-reproducible.
+//!
+//! The [`prop`] module is the matching replacement for `proptest`: a
+//! fixed-seed generator loop with failing-case printout.
+
+#![forbid(unsafe_code)]
+
+pub mod prop;
+
+/// A small, fast, deterministic PRNG: xoshiro256++ (Blackman & Vigna),
+/// seeded by expanding a `u64` through splitmix64.
+///
+/// Statistical quality is far beyond what the simulator and workload
+/// generators need, the state is 32 bytes, and generation is a handful
+/// of ALU ops — the same trade the `rand` crate's `SmallRng` makes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmallRng {
+    s: [u64; 4],
+}
+
+/// One step of splitmix64; used only to expand seeds.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SmallRng {
+    /// Creates a generator from a `u64` seed (splitmix64-expanded, so
+    /// nearby seeds yield statistically independent streams).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SmallRng { s }
+    }
+
+    /// The next raw 64-bit output (xoshiro256++ scrambler).
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform sample of type `T` — `f64` in `[0, 1)`, integers over
+    /// their full range, `bool` fair.
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform sample from a range (`a..b` or, for floats, `a..=b`).
+    ///
+    /// Integer ranges are sampled without modulo bias (rejection from a
+    /// truncated zone). Panics on empty ranges, mirroring `rand`.
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// Unbiased uniform integer in `[0, span)`; `span >= 1`.
+    fn below(&mut self, span: u64) -> u64 {
+        debug_assert!(span >= 1);
+        // Rejection zone: the largest multiple of `span` that fits in
+        // u64; values past it would bias the low residues.
+        let zone = u64::MAX - (u64::MAX % span + 1) % span;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % span;
+            }
+        }
+    }
+}
+
+/// Types [`SmallRng::gen`] can produce.
+pub trait FromRng {
+    /// Draws one uniform sample.
+    fn from_rng(rng: &mut SmallRng) -> Self;
+}
+
+impl FromRng for u64 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl FromRng for u32 {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl FromRng for usize {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl FromRng for bool {
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// The top 53 bits scaled by 2⁻⁵³: uniform on `[0, 1)` with full
+    /// double precision, the standard float-from-bits construction.
+    fn from_rng(rng: &mut SmallRng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`SmallRng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample from the range.
+    fn sample(self, rng: &mut SmallRng) -> T;
+}
+
+impl SampleRange<u64> for std::ops::Range<u64> {
+    fn sample(self, rng: &mut SmallRng) -> u64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.below(self.end - self.start)
+    }
+}
+
+impl SampleRange<u32> for std::ops::Range<u32> {
+    fn sample(self, rng: &mut SmallRng) -> u32 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.below((self.end - self.start) as u64) as u32
+    }
+}
+
+impl SampleRange<usize> for std::ops::Range<usize> {
+    fn sample(self, rng: &mut SmallRng) -> usize {
+        assert!(self.start < self.end, "gen_range on empty range");
+        self.start + rng.below((self.end - self.start) as u64) as usize
+    }
+}
+
+impl SampleRange<f64> for std::ops::Range<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        assert!(self.start < self.end, "gen_range on empty range");
+        let x = self.start + rng.gen::<f64>() * (self.end - self.start);
+        // Scaling can round onto the excluded endpoint; fold it back.
+        if x < self.end {
+            x
+        } else {
+            self.start
+        }
+    }
+}
+
+impl SampleRange<f64> for std::ops::RangeInclusive<f64> {
+    fn sample(self, rng: &mut SmallRng) -> f64 {
+        let (lo, hi) = (*self.start(), *self.end());
+        assert!(lo <= hi, "gen_range on empty range");
+        lo + rng.gen::<f64>() * (hi - lo)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(42);
+        let mut b = SmallRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = SmallRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn known_xoshiro_stream() {
+        // Reference values computed independently from the published
+        // splitmix64 + xoshiro256++ algorithms; pins the implementation
+        // (and thus every seeded workload in the workspace) forever.
+        let mut r = SmallRng::seed_from_u64(0);
+        assert_eq!(r.next_u64(), 0x5317_5D61_490B_23DF);
+        assert_eq!(r.next_u64(), 0x61DA_6F3D_C380_D507);
+        assert_eq!(r.next_u64(), 0x5C0F_DF91_EC9A_7BFC);
+        assert_eq!(r.next_u64(), 0x02EE_BF8C_3BBE_5E1A);
+        let mut r = SmallRng::seed_from_u64(42);
+        assert_eq!(r.next_u64(), 0xD076_4D4F_4476_689F);
+        assert_eq!(r.next_u64(), 0x519E_4174_576F_3791);
+    }
+
+    #[test]
+    fn unit_floats_are_in_range_and_spread() {
+        let mut r = SmallRng::seed_from_u64(7);
+        let mut lo = 0usize;
+        for _ in 0..10_000 {
+            let x: f64 = r.gen();
+            assert!((0.0..1.0).contains(&x));
+            if x < 0.5 {
+                lo += 1;
+            }
+        }
+        assert!((4_500..5_500).contains(&lo), "lo={lo}");
+    }
+
+    #[test]
+    fn integer_ranges_cover_uniformly_without_bias() {
+        let mut r = SmallRng::seed_from_u64(9);
+        let mut counts = [0usize; 7];
+        for _ in 0..70_000 {
+            counts[r.gen_range(0usize..7)] += 1;
+        }
+        for &c in &counts {
+            assert!((9_000..11_000).contains(&c), "{counts:?}");
+        }
+        // Offset ranges respect both bounds.
+        for _ in 0..1_000 {
+            let v = r.gen_range(5u64..8);
+            assert!((5..8).contains(&v));
+            let w = r.gen_range(3u32..4);
+            assert_eq!(w, 3);
+        }
+    }
+
+    #[test]
+    fn float_ranges_respect_bounds() {
+        let mut r = SmallRng::seed_from_u64(11);
+        for _ in 0..10_000 {
+            let x = r.gen_range(-2.0f64..3.0);
+            assert!((-2.0..3.0).contains(&x));
+            let y = r.gen_range(-0.25f64..=0.25);
+            assert!((-0.25..=0.25).contains(&y));
+            let z = r.gen_range(f64::MIN_POSITIVE..1.0);
+            assert!(z > 0.0 && z < 1.0);
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut r = SmallRng::seed_from_u64(13);
+        let hits = (0..20_000).filter(|_| r.gen_bool(0.3)).count();
+        let rate = hits as f64 / 20_000.0;
+        assert!((rate - 0.3).abs() < 0.02, "rate={rate}");
+        assert!((0..100).all(|_| !r.gen_bool(0.0)));
+        assert!((0..100).all(|_| r.gen_bool(1.0)));
+    }
+
+    #[test]
+    fn bool_and_int_gen_shapes() {
+        let mut r = SmallRng::seed_from_u64(17);
+        let heads = (0..10_000).filter(|_| r.gen::<bool>()).count();
+        assert!((4_500..5_500).contains(&heads));
+        let _: u32 = r.gen();
+        let _: usize = r.gen();
+    }
+}

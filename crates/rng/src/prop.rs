@@ -1,0 +1,161 @@
+//! A small seeded property-test harness (the in-repo `proptest`
+//! replacement).
+//!
+//! [`check`] runs a property over `cases` inputs drawn from a generator
+//! closure. Seeding is fixed and derived from the test name, so every
+//! run — local or CI — exercises exactly the same cases; a failure
+//! prints the case index, the reproduction seed, and the generated
+//! value's `Debug` form before propagating the panic.
+//!
+//! There is no shrinking: generators here are small (tens of nodes), so
+//! failing cases print compactly, and any case worth keeping is
+//! promoted to an explicit named regression test (see
+//! `crates/core/tests/properties.rs` for examples).
+
+use crate::SmallRng;
+
+/// Default number of cases per property, mirroring proptest's default.
+pub const DEFAULT_CASES: u32 = 256;
+
+/// FNV-1a, used to derive a stable per-property seed from its name.
+fn fnv1a(name: &str) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `prop` on `cases` values drawn from `gen`, panicking with a
+/// reproduction report on the first failure.
+///
+/// `name` must be unique per property (conventionally the test function
+/// name): it determines the seed stream. The RNG handed to `gen` for
+/// case `i` is seeded with `fnv1a(name) ^ i`, so a failing case can be
+/// re-generated in isolation.
+pub fn check<T, G, P>(name: &str, cases: u32, mut gen: G, mut prop: P)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut SmallRng) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    let base = fnv1a(name);
+    for i in 0..u64::from(cases) {
+        let seed = base ^ i;
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let input = gen(&mut rng);
+        if let Err(msg) = prop(&input) {
+            // Test harness: a failing property must abort the enclosing
+            // #[test]. rim-lint: allow(no-unwrap-in-lib)
+            panic!(
+                "property `{name}` failed at case {i}/{cases} (seed {seed:#x}):\n  \
+                 {msg}\n  input: {input:?}"
+            );
+        }
+    }
+}
+
+/// [`check`] with [`DEFAULT_CASES`].
+pub fn check_default<T, G, P>(name: &str, gen: G, prop: P)
+where
+    T: std::fmt::Debug,
+    G: FnMut(&mut SmallRng) -> T,
+    P: FnMut(&T) -> Result<(), String>,
+{
+    check(name, DEFAULT_CASES, gen, prop)
+}
+
+/// `prop_assert!`-style helper: evaluates a condition inside a property
+/// body, turning a failure into `Err` with the formatted message.
+#[macro_export]
+macro_rules! prop_ensure {
+    ($cond:expr) => {
+        if !$cond {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err(format!($($fmt)+));
+        }
+    };
+}
+
+/// `prop_assert_eq!`-style helper.
+#[macro_export]
+macro_rules! prop_ensure_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n  right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let counter = std::cell::Cell::new(0u32);
+        check(
+            "passing",
+            64,
+            |rng| rng.gen_range(0usize..10),
+            |_| {
+                counter.set(counter.get() + 1);
+                Ok(())
+            },
+        );
+        assert_eq!(counter.get(), 64);
+    }
+
+    #[test]
+    fn cases_are_reproducible() {
+        let mut a = Vec::new();
+        check("repro", 16, |rng| rng.next_u64(), |&v| {
+            a.push(v);
+            Ok(())
+        });
+        let mut b = Vec::new();
+        check("repro", 16, |rng| rng.next_u64(), |&v| {
+            b.push(v);
+            Ok(())
+        });
+        assert_eq!(a, b);
+        let mut c = Vec::new();
+        check("other-name", 16, |rng| rng.next_u64(), |&v| {
+            c.push(v);
+            Ok(())
+        });
+        assert_ne!(a, c, "different properties draw different cases");
+    }
+
+    #[test]
+    #[should_panic(expected = "property `failing` failed at case")]
+    fn failing_property_reports_case_and_seed() {
+        check("failing", 32, |rng| rng.gen_range(0usize..100), |&v| {
+            prop_ensure!(v < 90, "value {v} too large");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn ensure_macros_format_messages() {
+        fn body(x: usize) -> Result<(), String> {
+            prop_ensure!(x % 2 == 0, "odd: {x}");
+            prop_ensure_eq!(x / 2 * 2, x);
+            Ok(())
+        }
+        assert!(body(4).is_ok());
+        assert_eq!(body(3), Err("odd: 3".to_string()));
+    }
+}

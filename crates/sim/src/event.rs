@@ -63,6 +63,7 @@ impl<T> EventQueue<T> {
             .peek()
             .is_some_and(|Reverse((slot, _, _))| *slot <= now)
         {
+            // rim-lint: allow(no-unwrap-in-lib) — peek() checked Some above
             let Reverse((slot, _, Entry(payload))) = self.heap.pop().unwrap();
             Some((slot, payload))
         } else {

@@ -24,6 +24,8 @@
 //! [`sim`] (the slot loop), [`schedule`] (conflict-free TDMA link
 //! scheduling — how much parallelism a topology admits).
 
+#![forbid(unsafe_code)]
+
 // Node ids double as indices throughout this workspace; indexed loops
 // over `0..n` mirror the paper's notation and often touch several arrays.
 #![allow(clippy::needless_range_loop)]

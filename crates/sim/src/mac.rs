@@ -1,7 +1,6 @@
 //! MAC disciplines and per-node MAC state.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rim_rng::SmallRng;
 
 /// The medium-access discipline every node runs.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,6 +69,7 @@ impl MacState {
         }
         match *cfg {
             MacConfig::Tdma => {
+                // rim-lint: allow(no-unwrap-in-lib) — Tdma takes the scheduler path
                 unreachable!("TDMA transmission decisions are made by the scheduler")
             }
             MacConfig::SlottedAloha { p } => rng.gen::<f64>() < p,
@@ -124,7 +124,6 @@ impl MacState {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn aloha_transmits_with_probability_p() {

@@ -5,8 +5,7 @@ use crate::mac::{MacConfig, MacState};
 use crate::metrics::Metrics;
 use crate::phy::Coverage;
 use crate::traffic::{make_flows, random_pair, Flow, Packet, TrafficConfig};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+use rim_rng::SmallRng;
 use rim_graph::shortest_path::routing_table;
 use rim_udg::Topology;
 use std::collections::VecDeque;
@@ -181,6 +180,7 @@ impl Simulator {
                 if !is_tx[u] {
                     continue;
                 }
+                // rim-lint: allow(no-unwrap-in-lib) — is_tx[u] implies a queued frame
                 let head = queues[u].front().expect("transmitter with empty queue");
                 let v = self.next_hop[u][head.pkt.dst];
                 debug_assert_ne!(v, usize::MAX, "queued packet without route");
@@ -188,6 +188,7 @@ impl Simulator {
                 metrics.energy += self.topology.radius(u).powf(cfg.alpha);
                 if self.coverage.received(u, v, &is_tx) {
                     metrics.received_at[v] += 1;
+                    // rim-lint: allow(no-unwrap-in-lib) — same invariant: is_tx[u] implies a queued frame
                     let mut q = queues[u].pop_front().unwrap();
                     mac[u].on_success();
                     q.hops += 1;

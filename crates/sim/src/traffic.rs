@@ -1,7 +1,6 @@
 //! Traffic generation: constant-bit-rate flows and Poisson arrivals.
 
-use rand::rngs::SmallRng;
-use rand::Rng;
+use rim_rng::SmallRng;
 
 /// What traffic the network carries.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -81,7 +80,6 @@ pub fn make_flows(cfg: &TrafficConfig, n: usize, rng: &mut SmallRng) -> Vec<Flow
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
 
     #[test]
     fn random_pair_is_distinct_and_uniform_ish() {

@@ -1,87 +1,124 @@
 //! Property-based tests for the simulator: accounting invariants must
-//! hold for arbitrary topologies, MACs and traffic configurations.
+//! hold for arbitrary topologies, MACs and traffic configurations
+//! (seeded in-repo harness, `rim_rng::prop`).
 
-use proptest::prelude::*;
+use rim_rng::prop::check;
+use rim_rng::{prop_ensure, prop_ensure_eq, SmallRng};
 use rim_sim::schedule::tdma_schedule;
 use rim_sim::{MacConfig, SimConfig, Simulator, TrafficConfig};
 use rim_udg::{NodeSet, Topology};
 
-/// Random connected-ish line topology (consecutive-link chains with a
-/// few skips removed).
-fn arb_topology() -> impl Strategy<Value = Topology> {
-    (2usize..12, proptest::collection::vec(0.05f64..0.5, 1..11)).prop_map(|(n, gaps)| {
-        let mut xs = vec![0.0f64];
-        for i in 1..n {
-            xs.push(xs[i - 1] + gaps[(i - 1) % gaps.len()]);
+/// Random connected line topology (consecutive-link chains with random
+/// gap lengths).
+fn arb_topology(rng: &mut SmallRng) -> Topology {
+    let n = rng.gen_range(2usize..12);
+    let mut xs = vec![0.0f64];
+    for i in 1..n {
+        xs.push(xs[i - 1] + rng.gen_range(0.05f64..0.5));
+    }
+    let pairs: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+    Topology::from_pairs(NodeSet::on_line(&xs), &pairs)
+}
+
+fn arb_mac(rng: &mut SmallRng) -> MacConfig {
+    match rng.gen_range(0usize..3) {
+        0 => MacConfig::SlottedAloha {
+            p: rng.gen_range(0.05f64..1.0),
+        },
+        1 => MacConfig::Csma {
+            max_backoff_exp: rng.gen_range(1u32..8),
+            max_retries: rng.gen_range(1u32..10),
+        },
+        _ => MacConfig::Tdma,
+    }
+}
+
+fn arb_traffic(rng: &mut SmallRng) -> TrafficConfig {
+    if rng.gen() {
+        TrafficConfig::Cbr {
+            flows: rng.gen_range(1usize..6),
+            period: rng.gen_range(5u64..50),
         }
-        let pairs: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
-        Topology::from_pairs(NodeSet::on_line(&xs), &pairs)
-    })
-}
-
-fn arb_mac() -> impl Strategy<Value = MacConfig> {
-    prop_oneof![
-        (0.05f64..1.0).prop_map(|p| MacConfig::SlottedAloha { p }),
-        (1u32..8, 1u32..10).prop_map(|(e, r)| MacConfig::Csma {
-            max_backoff_exp: e,
-            max_retries: r
-        }),
-        Just(MacConfig::Tdma),
-    ]
-}
-
-fn arb_traffic() -> impl Strategy<Value = TrafficConfig> {
-    prop_oneof![
-        (1usize..6, 5u64..50).prop_map(|(flows, period)| TrafficConfig::Cbr { flows, period }),
-        (0.01f64..0.5).prop_map(|rate| TrafficConfig::Poisson { rate }),
-    ]
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn accounting_invariants(
-        t in arb_topology(),
-        mac in arb_mac(),
-        traffic in arb_traffic(),
-        seed in 0u64..1000,
-    ) {
-        let cfg = SimConfig { slots: 2_000, mac, traffic, alpha: 2.0, seed };
-        let m = Simulator::new(t, cfg).run();
-        prop_assert!(m.delivered + m.dropped_no_route + m.dropped_retries <= m.generated);
-        prop_assert!(m.collisions <= m.transmissions);
-        prop_assert!(m.total_hops >= m.delivered, "each delivery took >= 1 hop");
-        prop_assert!(m.energy >= 0.0);
-        prop_assert!((0.0..=1.0).contains(&m.delivery_ratio()));
-        prop_assert!((0.0..=1.0).contains(&m.collision_rate()));
-        if matches!(mac, MacConfig::Tdma) {
-            prop_assert_eq!(m.collisions, 0, "TDMA never collides");
-            prop_assert_eq!(m.dropped_retries, 0);
+    } else {
+        TrafficConfig::Poisson {
+            rate: rng.gen_range(0.01f64..0.5),
         }
     }
+}
 
-    #[test]
-    fn determinism(t in arb_topology(), mac in arb_mac(), seed in 0u64..100) {
-        let cfg = SimConfig {
-            slots: 1_000,
-            mac,
-            traffic: TrafficConfig::Poisson { rate: 0.2 },
-            alpha: 2.0,
-            seed,
-        };
-        let a = Simulator::new(t.clone(), cfg).run();
-        let b = Simulator::new(t, cfg).run();
-        prop_assert_eq!(a, b);
-    }
+#[test]
+fn accounting_invariants() {
+    check(
+        "accounting_invariants",
+        48,
+        |rng| {
+            (
+                arb_topology(rng),
+                arb_mac(rng),
+                arb_traffic(rng),
+                rng.gen_range(0u64..1000),
+            )
+        },
+        |(t, mac, traffic, seed)| {
+            let cfg = SimConfig {
+                slots: 2_000,
+                mac: *mac,
+                traffic: *traffic,
+                alpha: 2.0,
+                seed: *seed,
+            };
+            let m = Simulator::new(t.clone(), cfg).run();
+            prop_ensure!(m.delivered + m.dropped_no_route + m.dropped_retries <= m.generated);
+            prop_ensure!(m.collisions <= m.transmissions);
+            prop_ensure!(m.total_hops >= m.delivered, "each delivery took >= 1 hop");
+            prop_ensure!(m.energy >= 0.0);
+            prop_ensure!((0.0..=1.0).contains(&m.delivery_ratio()));
+            prop_ensure!((0.0..=1.0).contains(&m.collision_rate()));
+            if matches!(mac, MacConfig::Tdma) {
+                prop_ensure_eq!(m.collisions, 0);
+                prop_ensure_eq!(m.dropped_retries, 0);
+            }
+            Ok(())
+        },
+    );
+}
 
-    #[test]
-    fn tdma_schedules_are_always_valid(t in arb_topology()) {
-        let s = tdma_schedule(&t);
-        prop_assert_eq!(s.verify(&t), None);
-        prop_assert_eq!(s.num_links(), 2 * t.num_edges());
-        // Each node's incident directed links pairwise conflict, so the
-        // frame is at least twice the maximum degree.
-        prop_assert!(s.frame_length() >= 2 * t.graph().max_degree());
-    }
+#[test]
+fn determinism() {
+    check(
+        "determinism",
+        64,
+        |rng| (arb_topology(rng), arb_mac(rng), rng.gen_range(0u64..100)),
+        |(t, mac, seed)| {
+            let cfg = SimConfig {
+                slots: 1_000,
+                mac: *mac,
+                traffic: TrafficConfig::Poisson { rate: 0.2 },
+                alpha: 2.0,
+                seed: *seed,
+            };
+            let a = Simulator::new(t.clone(), cfg).run();
+            let b = Simulator::new(t.clone(), cfg).run();
+            prop_ensure_eq!(a, b);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn tdma_schedules_are_always_valid() {
+    check(
+        "tdma_schedules_are_always_valid",
+        128,
+        arb_topology,
+        |t| {
+            let s = tdma_schedule(t);
+            prop_ensure_eq!(s.verify(t), None);
+            prop_ensure_eq!(s.num_links(), 2 * t.num_edges());
+            // Each node's incident directed links pairwise conflict, so the
+            // frame is at least twice the maximum degree.
+            prop_ensure!(s.frame_length() >= 2 * t.graph().max_degree());
+            Ok(())
+        },
+    );
 }

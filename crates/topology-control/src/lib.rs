@@ -28,6 +28,8 @@
 //! (it is a forest that may split a UDG component — the other algorithms
 //! *contain* it and add the edges that reconnect it).
 
+#![forbid(unsafe_code)]
+
 pub mod cbtc;
 pub mod emst;
 pub mod gabriel;

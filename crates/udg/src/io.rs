@@ -45,6 +45,7 @@ pub fn parse_nodes(text: &str) -> Result<NodeSet, ParseError> {
         let mut it = content.split_whitespace();
         let x: f64 = it
             .next()
+            // rim-lint: allow(no-unwrap-in-lib) — significant_lines yields non-blank lines
             .unwrap()
             .parse()
             .map_err(|e| ParseError {

@@ -18,6 +18,8 @@
 //! * [`radius`] — radius assignments and the symmetric graphs they induce
 //!   (the search space of the exact optimum solver).
 
+#![forbid(unsafe_code)]
+
 pub mod io;
 pub mod node_set;
 pub mod radius;

@@ -68,6 +68,7 @@ impl NodeSet {
 
     /// Returns `true` if every node lies on the x-axis (highway model).
     pub fn is_highway(&self) -> bool {
+        // rim-lint: allow(float-eq) — exact on-axis membership defines the highway model
         self.points.iter().all(|p| p.y == 0.0)
     }
 

@@ -48,6 +48,7 @@ impl Topology {
     pub fn from_graph(nodes: NodeSet, graph: AdjacencyList) -> Self {
         assert_eq!(nodes.len(), graph.num_vertices());
         debug_assert!(graph.edges().iter().all(|e| {
+            // rim-lint: allow(float-eq) — exact invariant: weights are dist() outputs, bit-identical
             e.weight == nodes.dist(e.u, e.v)
         }), "edge weight differs from Euclidean distance");
         let radii = (0..nodes.len())
@@ -169,6 +170,7 @@ mod tests {
     fn empty_topology() {
         let t = Topology::empty(line5());
         assert_eq!(t.num_edges(), 0);
+        // rim-lint: allow(float-eq) — radii are exactly 0.0 by construction
         assert!(t.radii().iter().all(|&r| r == 0.0));
         assert!(t.is_forest());
     }

@@ -11,6 +11,8 @@
 //!   and 9 (edges drawn as semicircular arcs over the highway, hubs as
 //!   hollow points, optional logarithmic x-axis for exponential chains).
 
+#![forbid(unsafe_code)]
+
 pub mod render;
 pub mod svg;
 

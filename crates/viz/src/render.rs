@@ -44,6 +44,7 @@ pub fn render_topology(t: &Topology, opts: RenderOptions) -> String {
     if world.is_empty() {
         world = Aabb::new(Point::ORIGIN, Point::new(1.0, 1.0));
     }
+    // rim-lint: allow(float-eq) — exact degenerate-box guard
     if world.width() == 0.0 || world.height() == 0.0 {
         // Degenerate (e.g. highway) boxes get a little vertical room.
         let pad = world.width().max(world.height()).max(1.0) * 0.1;

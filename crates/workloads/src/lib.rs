@@ -10,8 +10,9 @@
 //!   [`clustered_highway`], and [`fragmented_exponential`] (the
 //!   worst-case-style input for `A_apx`).
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+#![forbid(unsafe_code)]
+
+use rim_rng::SmallRng;
 use rim_geom::Point;
 use rim_highway::HighwayInstance;
 use rim_udg::NodeSet;

@@ -1,0 +1,542 @@
+//! Workspace audits: manifest ↔ source dependency cross-checks and
+//! bench-target consistency.
+//!
+//! The workspace is hermetic by policy — every dependency is a path
+//! dependency on a sibling crate, and the external allowlist below is
+//! empty and intended to stay that way. A tiny line-oriented TOML
+//! reader is enough for the manifest subset Cargo workspaces use here;
+//! it is not a general TOML parser.
+
+use std::collections::BTreeSet;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{Kind, Token};
+use crate::rules;
+use crate::Diagnostic;
+
+/// External crates the workspace is permitted to depend on. Empty on
+/// purpose: the build must keep working with no registry access at
+/// all. Growing this list is a deliberate, reviewed decision.
+pub const EXTERNAL_ALLOWLIST: &[&str] = &[];
+
+/// One dependency declaration from a manifest.
+#[derive(Debug, Clone)]
+pub struct Dep {
+    /// Crate name as written (`rim-geom`).
+    pub name: String,
+    /// 1-based manifest line.
+    pub line: u32,
+    /// Raw right-hand side (for the path-dependency check).
+    pub value: String,
+}
+
+/// One `[[bench]]` target declaration.
+#[derive(Debug, Clone, Default)]
+pub struct BenchTarget {
+    /// `name = "…"` value.
+    pub name: String,
+    /// Whether `harness = false` was set.
+    pub harness_false: bool,
+    /// 1-based line of the `[[bench]]` header.
+    pub line: u32,
+}
+
+/// The manifest subset the audits need.
+#[derive(Debug, Default)]
+pub struct Manifest {
+    /// `[package] name`.
+    pub package_name: String,
+    /// `[dependencies]`.
+    pub deps: Vec<Dep>,
+    /// `[dev-dependencies]`.
+    pub dev_deps: Vec<Dep>,
+    /// `[workspace.dependencies]` (root manifest only).
+    pub workspace_deps: Vec<Dep>,
+    /// `[[bench]]` targets.
+    pub benches: Vec<BenchTarget>,
+}
+
+/// Parses the manifest subset used by this workspace.
+pub fn parse_manifest(text: &str) -> Manifest {
+    let mut m = Manifest::default();
+    let mut section = String::new();
+    for (i, raw) in text.lines().enumerate() {
+        let line_no = (i + 1) as u32;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if line.starts_with('[') {
+            section = line.trim_matches(|c| c == '[' || c == ']').to_string();
+            if section == "bench" && line.starts_with("[[") {
+                m.benches.push(BenchTarget {
+                    line: line_no,
+                    ..BenchTarget::default()
+                });
+            }
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let key = line[..eq].trim();
+        let value = line[eq + 1..].trim().to_string();
+        match section.as_str() {
+            "package" if key == "name" => {
+                m.package_name = value.trim_matches('"').to_string();
+            }
+            "dependencies" | "dev-dependencies" | "workspace.dependencies" => {
+                // `rim-geom.workspace = true` or `rim-geom = { … }`.
+                let name = key
+                    .split(|c: char| c == '.' || c.is_whitespace())
+                    .next()
+                    .unwrap_or_default() // rim-lint: allow(no-unwrap-in-lib)
+                    .trim_matches('"')
+                    .to_string();
+                if name.is_empty() {
+                    continue;
+                }
+                let dep = Dep { name, line: line_no, value };
+                match section.as_str() {
+                    "dependencies" => m.deps.push(dep),
+                    "dev-dependencies" => m.dev_deps.push(dep),
+                    _ => m.workspace_deps.push(dep),
+                }
+            }
+            "bench" => {
+                if let Some(b) = m.benches.last_mut() {
+                    if key == "name" {
+                        b.name = value.trim_matches('"').to_string();
+                    } else if key == "harness" && value == "false" {
+                        b.harness_false = true;
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    m
+}
+
+/// A workspace member: manifest plus lexed sources grouped by role.
+pub struct Member {
+    /// Directory containing `Cargo.toml`.
+    pub dir: PathBuf,
+    /// Path of the manifest relative to the workspace root.
+    pub manifest_rel: String,
+    /// Parsed manifest.
+    pub manifest: Manifest,
+    /// `(rel_path, tokens, test_mod_ranges)` for `src/**.rs`.
+    pub lib_sources: Vec<(String, Vec<Token>, Vec<(usize, usize)>)>,
+    /// Same for `tests/`, `benches/`, `examples/`.
+    pub test_sources: Vec<(String, Vec<Token>, Vec<(usize, usize)>)>,
+}
+
+/// `rim-geom` → `rim_geom` (the identifier Rust code uses).
+pub fn crate_ident(name: &str) -> String {
+    name.replace('-', "_")
+}
+
+/// Path roots that never correspond to a dependency.
+const BUILTIN_PATH_ROOTS: &[&str] = &["std", "core", "alloc", "crate", "super", "self", "test"];
+
+/// Runs all manifest/source audits for one member.
+pub fn audit_member(member: &Member, workspace_crates: &BTreeSet<String>, out: &mut Vec<Diagnostic>) {
+    let m = &member.manifest;
+    let rel = &member.manifest_rel;
+
+    // External dependencies: everything must be a workspace sibling or
+    // explicitly allowlisted.
+    for dep in m.deps.iter().chain(&m.dev_deps).chain(&m.workspace_deps) {
+        if !workspace_crates.contains(&dep.name) && !EXTERNAL_ALLOWLIST.contains(&dep.name.as_str())
+        {
+            out.push(Diagnostic {
+                rule: "external-dependency",
+                file: rel.clone(),
+                line: dep.line,
+                message: format!(
+                    "`{}` is not a workspace crate and is not on the (empty) external \
+                     allowlist; the build must stay hermetic",
+                    dep.name
+                ),
+            });
+        }
+    }
+
+    // Workspace-level deps must be path dependencies.
+    for dep in &m.workspace_deps {
+        if !dep.value.contains("path") {
+            out.push(Diagnostic {
+                rule: "external-dependency",
+                file: rel.clone(),
+                line: dep.line,
+                message: format!(
+                    "workspace dependency `{}` is not a path dependency; registry \
+                     dependencies are forbidden",
+                    dep.name
+                ),
+            });
+        }
+    }
+
+    // Declared-but-unused: a [dependencies] entry must be referenced
+    // somewhere in the crate; a [dev-dependencies] entry likewise
+    // (test modules inside src/ count).
+    let all_sources: Vec<&(String, Vec<Token>, Vec<(usize, usize)>)> =
+        member.lib_sources.iter().chain(&member.test_sources).collect();
+    for (deps, kind) in [(&m.deps, "dependency"), (&m.dev_deps, "dev-dependency")] {
+        for dep in deps {
+            let ident = crate_ident(&dep.name);
+            let used = all_sources
+                .iter()
+                .any(|(_, tokens, _)| tokens.iter().any(|t| t.kind == Kind::Ident && t.text == ident));
+            if !used {
+                out.push(Diagnostic {
+                    rule: "unused-dependency",
+                    file: rel.clone(),
+                    line: dep.line,
+                    message: format!("declared {kind} `{}` is never referenced in this crate", dep.name),
+                });
+            }
+        }
+    }
+
+    // Used-but-undeclared, two detectors:
+    //   (a) `use <root>::…` roots must be builtin, self, or declared;
+    //   (b) inline `<workspace_crate>::` paths must be declared.
+    let self_ident = crate_ident(&m.package_name);
+    let declared: BTreeSet<String> = m.deps.iter().map(|d| crate_ident(&d.name)).collect();
+    let declared_dev: BTreeSet<String> = m
+        .deps
+        .iter()
+        .chain(&m.dev_deps)
+        .map(|d| crate_ident(&d.name))
+        .collect();
+    let workspace_idents: BTreeSet<String> =
+        workspace_crates.iter().map(|n| crate_ident(n)).collect();
+
+    // Local modules: edition-2018 uniform paths allow `use render::…`
+    // for a sibling `mod render;`, so module names are not deps.
+    let mut local_mods: BTreeSet<String> = BTreeSet::new();
+    for (_, tokens, _) in member.lib_sources.iter().chain(&member.test_sources) {
+        let code: Vec<&Token> = tokens
+            .iter()
+            .filter(|t| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+            .collect();
+        for w in code.windows(2) {
+            if w[0].text == "mod" && w[1].kind == Kind::Ident {
+                local_mods.insert(w[1].text.clone());
+            }
+        }
+    }
+
+    let scan = |sources: &[(String, Vec<Token>, Vec<(usize, usize)>)],
+                test_scope: bool,
+                out: &mut Vec<Diagnostic>| {
+        for (path, tokens, test_ranges) in sources {
+            let code: Vec<(usize, &Token)> = tokens
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+                .collect();
+            for w in code.windows(3) {
+                let (idx, a) = w[0];
+                let b = w[1].1;
+                let c = w[2].1;
+                let in_test = test_scope
+                    || test_ranges.iter().any(|&(s, e)| idx >= s && idx < e);
+                let allowed = if in_test { &declared_dev } else { &declared };
+                // (a) use-statement roots.
+                if a.text == "use" && b.kind == Kind::Ident && c.text == "::" {
+                    let root = &b.text;
+                    if !BUILTIN_PATH_ROOTS.contains(&root.as_str())
+                        && *root != self_ident
+                        && !allowed.contains(root)
+                        && !local_mods.contains(root)
+                    {
+                        out.push(Diagnostic {
+                            rule: "undeclared-dependency",
+                            file: path.clone(),
+                            line: b.line,
+                            message: format!(
+                                "`use {root}::…` but `{}` does not declare it under \
+                                 [{}dependencies]",
+                                rel,
+                                if in_test { "dev-" } else { "" }
+                            ),
+                        });
+                    }
+                }
+                // (b) inline workspace-crate paths.
+                if b.kind == Kind::Ident
+                    && c.text == "::"
+                    && a.text != "use"
+                    && a.text != "::"
+                    && workspace_idents.contains(&b.text)
+                    && b.text != self_ident
+                    && !allowed.contains(&b.text)
+                {
+                    out.push(Diagnostic {
+                        rule: "undeclared-dependency",
+                        file: path.clone(),
+                        line: b.line,
+                        message: format!(
+                            "path `{}::…` references a workspace crate `{}` does not declare",
+                            b.text, rel
+                        ),
+                    });
+                }
+            }
+        }
+    };
+    scan(&member.lib_sources, false, out);
+    scan(&member.test_sources, true, out);
+
+    // Bench-target consistency: every [[bench]] maps to benches/<name>.rs
+    // with harness = false, and every benches/*.rs has a [[bench]] entry
+    // (without one, Cargo would hand the file to the nonexistent default
+    // harness).
+    let bench_dir = member.dir.join("benches");
+    let mut bench_files: BTreeSet<String> = BTreeSet::new();
+    if bench_dir.is_dir() {
+        if let Ok(entries) = fs::read_dir(&bench_dir) {
+            for e in entries.flatten() {
+                let p = e.path();
+                if p.extension().is_some_and(|x| x == "rs") {
+                    if let Some(stem) = p.file_stem().and_then(|s| s.to_str()) {
+                        bench_files.insert(stem.to_string());
+                    }
+                }
+            }
+        }
+    }
+    for b in &m.benches {
+        if b.name.is_empty() {
+            out.push(Diagnostic {
+                rule: "bench-target",
+                file: rel.clone(),
+                line: b.line,
+                message: "[[bench]] entry has no name".to_string(),
+            });
+            continue;
+        }
+        if !b.harness_false {
+            out.push(Diagnostic {
+                rule: "bench-target",
+                file: rel.clone(),
+                line: b.line,
+                message: format!(
+                    "[[bench]] `{}` must set `harness = false` (the workspace uses its \
+                     own timing harness)",
+                    b.name
+                ),
+            });
+        }
+        if !bench_files.contains(&b.name) {
+            out.push(Diagnostic {
+                rule: "bench-target",
+                file: rel.clone(),
+                line: b.line,
+                message: format!("[[bench]] `{}` has no benches/{}.rs", b.name, b.name),
+            });
+        }
+    }
+    let declared_benches: BTreeSet<&str> = m.benches.iter().map(|b| b.name.as_str()).collect();
+    for f in &bench_files {
+        if !declared_benches.contains(f.as_str()) {
+            out.push(Diagnostic {
+                rule: "bench-target",
+                file: rel.clone(),
+                line: 1,
+                message: format!("benches/{f}.rs has no [[bench]] entry in {rel}"),
+            });
+        }
+    }
+}
+
+/// Collects `.rs` files under `dir` (recursively), skipping build
+/// output, VCS metadata, and `fixtures` directories (lint-test inputs
+/// contain deliberate violations).
+pub fn rust_files(dir: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        let Ok(entries) = fs::read_dir(&d) else { continue };
+        for e in entries.flatten() {
+            let p = e.path();
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if p.is_dir() {
+                if name != "target" && name != ".git" && name != "fixtures" {
+                    stack.push(p);
+                }
+            } else if p.extension().is_some_and(|x| x == "rs") {
+                out.push(p);
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Loads a member's manifest and sources, lexing each file once.
+pub fn load_member(root: &Path, dir: &Path) -> Result<Member, String> {
+    let manifest_path = dir.join("Cargo.toml");
+    let text = fs::read_to_string(&manifest_path)
+        .map_err(|e| format!("{}: {e}", manifest_path.display()))?;
+    let manifest = parse_manifest(&text);
+    let rel = |p: &Path| -> String {
+        p.strip_prefix(root)
+            .unwrap_or(p)
+            .to_string_lossy()
+            .replace('\\', "/")
+    };
+    let mut lib_sources = Vec::new();
+    let mut test_sources = Vec::new();
+    for sub in ["src", "tests", "benches", "examples"] {
+        let d = dir.join(sub);
+        if !d.is_dir() {
+            continue;
+        }
+        for f in rust_files(&d) {
+            // The root package's `src`/`tests` globs would otherwise
+            // recurse into `crates/`; keep member sources disjoint.
+            if sub == "src" && f.strip_prefix(dir).is_ok_and(|r| r.starts_with("crates")) {
+                continue;
+            }
+            let src = fs::read_to_string(&f).map_err(|e| format!("{}: {e}", f.display()))?;
+            let (tokens, ranges) = rules::prepare(&src);
+            let entry = (rel(&f), tokens, ranges);
+            if sub == "src" {
+                lib_sources.push(entry);
+            } else {
+                test_sources.push(entry);
+            }
+        }
+    }
+    Ok(Member {
+        dir: dir.to_path_buf(),
+        manifest_rel: rel(&manifest_path),
+        manifest,
+        lib_sources,
+        test_sources,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn manifest_parser_reads_deps_and_benches() {
+        let m = parse_manifest(
+            "[package]\nname = \"demo\"\n\n[dependencies]\nrim-geom.workspace = true\n\
+             rand = \"0.8\"\n\n[dev-dependencies]\nrim-rng.workspace = true\n\n\
+             [[bench]]\nname = \"fast\"\nharness = false\n\n[[bench]]\nname = \"slow\"\n",
+        );
+        assert_eq!(m.package_name, "demo");
+        assert_eq!(
+            m.deps.iter().map(|d| d.name.as_str()).collect::<Vec<_>>(),
+            ["rim-geom", "rand"]
+        );
+        assert_eq!(m.dev_deps.len(), 1);
+        assert_eq!(m.benches.len(), 2);
+        assert!(m.benches[0].harness_false);
+        assert!(!m.benches[1].harness_false);
+    }
+
+    #[test]
+    fn crate_ident_normalizes_dashes() {
+        assert_eq!(crate_ident("rim-topology-control"), "rim_topology_control");
+    }
+
+    fn member_with(manifest: &str, lib_src: &str) -> Member {
+        let m = parse_manifest(manifest);
+        let (tokens, ranges) = rules::prepare(lib_src);
+        Member {
+            dir: PathBuf::from("/nonexistent"),
+            manifest_rel: "Cargo.toml".to_string(),
+            manifest: m,
+            lib_sources: vec![("src/lib.rs".to_string(), tokens, ranges)],
+            test_sources: Vec::new(),
+        }
+    }
+
+    fn workspace() -> BTreeSet<String> {
+        ["demo", "rim-geom", "rim-rng"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    }
+
+    #[test]
+    fn external_dependency_fires_on_registry_deps() {
+        let member = member_with(
+            "[package]\nname = \"demo\"\n[dependencies]\nrand = \"0.8\"\n",
+            "use rand::Rng;\n",
+        );
+        let mut out = Vec::new();
+        audit_member(&member, &workspace(), &mut out);
+        assert!(out.iter().any(|d| d.rule == "external-dependency" && d.message.contains("rand")));
+    }
+
+    #[test]
+    fn unused_dependency_fires_and_clears() {
+        let manifest = "[package]\nname = \"demo\"\n[dependencies]\nrim-geom.workspace = true\n";
+        let mut out = Vec::new();
+        audit_member(&member_with(manifest, "fn f() {}\n"), &workspace(), &mut out);
+        assert!(out.iter().any(|d| d.rule == "unused-dependency"));
+        out.clear();
+        audit_member(
+            &member_with(manifest, "use rim_geom::Point;\n"),
+            &workspace(),
+            &mut out,
+        );
+        assert!(!out.iter().any(|d| d.rule == "unused-dependency"));
+    }
+
+    #[test]
+    fn undeclared_dependency_fires_on_both_detectors() {
+        let manifest = "[package]\nname = \"demo\"\n";
+        let mut out = Vec::new();
+        audit_member(
+            &member_with(manifest, "use rand::Rng;\n"),
+            &workspace(),
+            &mut out,
+        );
+        assert!(out.iter().any(|d| d.rule == "undeclared-dependency"));
+        out.clear();
+        audit_member(
+            &member_with(manifest, "fn f() -> rim_geom::Point { rim_geom::Point::ORIGIN }\n"),
+            &workspace(),
+            &mut out,
+        );
+        assert!(out.iter().any(|d| d.rule == "undeclared-dependency"));
+        // std/self/crate roots and declared deps are fine.
+        out.clear();
+        audit_member(
+            &member_with(
+                "[package]\nname = \"demo\"\n[dependencies]\nrim-geom.workspace = true\n",
+                "use std::fs;\nuse crate::x;\nuse demo::y;\nuse rim_geom::Point;\n",
+            ),
+            &workspace(),
+            &mut out,
+        );
+        assert!(!out.iter().any(|d| d.rule == "undeclared-dependency"));
+    }
+
+    #[test]
+    fn dev_dependency_scope_is_respected() {
+        // A dev-dep used from a src test module is fine; the same use
+        // outside a test module is undeclared for [dependencies].
+        let manifest =
+            "[package]\nname = \"demo\"\n[dev-dependencies]\nrim-rng.workspace = true\n";
+        let in_test = "#[cfg(test)]\nmod tests { use rim_rng::SmallRng; }\n";
+        let mut out = Vec::new();
+        audit_member(&member_with(manifest, in_test), &workspace(), &mut out);
+        assert!(!out.iter().any(|d| d.rule == "undeclared-dependency"));
+        out.clear();
+        let outside = "use rim_rng::SmallRng;\n";
+        audit_member(&member_with(manifest, outside), &workspace(), &mut out);
+        assert!(out.iter().any(|d| d.rule == "undeclared-dependency"));
+    }
+}

@@ -1,0 +1,405 @@
+//! A small comment- and string-aware Rust lexer.
+//!
+//! This is not a full Rust lexer: it produces exactly the token detail
+//! the lint rules need — identifiers, integer vs float literals,
+//! string/char literals (opaque), multi-character operators, and
+//! comments (kept in the stream so pragmas and doc-coverage can see
+//! them) — while being robust against the constructs that break naive
+//! regex scanning: nested block comments, raw strings, lifetimes vs
+//! char literals, and float literals vs range expressions (`1.0` vs
+//! `0..n`).
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Kind {
+    /// Identifier or keyword.
+    Ident,
+    /// Integer literal (including hex/oct/bin and suffixed forms).
+    Int,
+    /// Float literal (has `.`, exponent, or an `f32`/`f64` suffix).
+    Float,
+    /// String, raw string, byte string, or char literal (content opaque).
+    Str,
+    /// Lifetime (`'a`) or loop label.
+    Lifetime,
+    /// Operator or other punctuation (multi-char ops pre-merged).
+    Punct,
+    /// `// …` or `/* … */` comment.
+    Comment,
+    /// `/// …`, `//! …`, `/** … */`, `/*! … */` doc comment.
+    DocComment,
+}
+
+/// One lexed token with its 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Classification.
+    pub kind: Kind,
+    /// Source text (for `Str`, the full literal including quotes).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+}
+
+/// Multi-character operators merged into single `Punct` tokens, longest
+/// first so greedy matching is unambiguous.
+const MULTI_PUNCT: &[&str] = &[
+    "..=", "...", "<<=", ">>=", "==", "!=", "<=", ">=", "&&", "||", "::", "..", "->", "=>", "+=",
+    "-=", "*=", "/=", "%=", "^=", "&=", "|=", "<<", ">>",
+];
+
+/// Lexes `src` into tokens, keeping comments in-stream.
+///
+/// Unterminated constructs (string/block comment) consume to EOF
+/// rather than erroring: lint input is the workspace's own compiling
+/// code, so graceful degradation beats hard failure.
+pub fn lex(src: &str) -> Vec<Token> {
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut out = Vec::new();
+
+    // Advances `idx` to `to`, counting newlines into `line`.
+    let bump = |idx: &mut usize, to: usize, line: &mut u32, b: &[char]| {
+        while *idx < to {
+            if b[*idx] == '\n' {
+                *line += 1;
+            }
+            *idx += 1;
+        }
+    };
+
+    while i < n {
+        let c = b[i];
+        // Whitespace.
+        if c.is_whitespace() {
+            if c == '\n' {
+                line += 1;
+            }
+            i += 1;
+            continue;
+        }
+        let start_line = line;
+        // Comments.
+        if c == '/' && i + 1 < n && (b[i + 1] == '/' || b[i + 1] == '*') {
+            if b[i + 1] == '/' {
+                let mut j = i;
+                while j < n && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[i..j].iter().collect();
+                let kind = if text.starts_with("///") || text.starts_with("//!") {
+                    Kind::DocComment
+                } else {
+                    Kind::Comment
+                };
+                out.push(Token { kind, text, line: start_line });
+                bump(&mut i, j, &mut line, &b);
+            } else {
+                // Nested block comment.
+                let mut j = i + 2;
+                let mut depth = 1usize;
+                while j < n && depth > 0 {
+                    if j + 1 < n && b[j] == '/' && b[j + 1] == '*' {
+                        depth += 1;
+                        j += 2;
+                    } else if j + 1 < n && b[j] == '*' && b[j + 1] == '/' {
+                        depth -= 1;
+                        j += 2;
+                    } else {
+                        j += 1;
+                    }
+                }
+                let text: String = b[i..j.min(n)].iter().collect();
+                let kind = if text.starts_with("/**") || text.starts_with("/*!") {
+                    Kind::DocComment
+                } else {
+                    Kind::Comment
+                };
+                out.push(Token { kind, text, line: start_line });
+                bump(&mut i, j.min(n), &mut line, &b);
+            }
+            continue;
+        }
+        // Raw / byte strings: r"...", r#"..."#, b"...", br#"..."#.
+        if (c == 'r' || c == 'b') && i + 1 < n {
+            let mut j = i;
+            let mut is_raw = false;
+            if b[j] == 'b' {
+                j += 1;
+            }
+            if j < n && b[j] == 'r' {
+                is_raw = true;
+                j += 1;
+            }
+            let mut hashes = 0usize;
+            while is_raw && j < n && b[j] == '#' {
+                hashes += 1;
+                j += 1;
+            }
+            if j < n && b[j] == '"' && (is_raw || b[i] == 'b') {
+                // Scan to the closing quote (+ matching hashes for raw).
+                let mut k = j + 1;
+                'scan: while k < n {
+                    if !is_raw && b[k] == '\\' {
+                        k += 2;
+                        continue;
+                    }
+                    if b[k] == '"' {
+                        let mut h = 0usize;
+                        while h < hashes && k + 1 + h < n && b[k + 1 + h] == '#' {
+                            h += 1;
+                        }
+                        if h == hashes {
+                            k += 1 + hashes;
+                            break 'scan;
+                        }
+                    }
+                    k += 1;
+                }
+                let text: String = b[i..k.min(n)].iter().collect();
+                out.push(Token { kind: Kind::Str, text, line: start_line });
+                bump(&mut i, k.min(n), &mut line, &b);
+                continue;
+            }
+            // Not a string prefix: fall through to identifier lexing.
+        }
+        // Identifiers / keywords.
+        if c == '_' || c.is_alphabetic() {
+            let mut j = i;
+            while j < n && (b[j] == '_' || b[j].is_alphanumeric()) {
+                j += 1;
+            }
+            out.push(Token {
+                kind: Kind::Ident,
+                text: b[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Plain strings.
+        if c == '"' {
+            let mut j = i + 1;
+            while j < n {
+                if b[j] == '\\' {
+                    j += 2;
+                    continue;
+                }
+                if b[j] == '"' {
+                    j += 1;
+                    break;
+                }
+                j += 1;
+            }
+            let text: String = b[i..j.min(n)].iter().collect();
+            out.push(Token { kind: Kind::Str, text, line: start_line });
+            bump(&mut i, j.min(n), &mut line, &b);
+            continue;
+        }
+        // Char literal vs lifetime.
+        if c == '\'' {
+            // Lifetime: 'ident not closed by another quote.
+            if i + 1 < n && (b[i + 1] == '_' || b[i + 1].is_alphabetic()) {
+                let mut j = i + 2;
+                while j < n && (b[j] == '_' || b[j].is_alphanumeric()) {
+                    j += 1;
+                }
+                if j < n && b[j] == '\'' {
+                    // 'a' — a char literal after all.
+                    out.push(Token {
+                        kind: Kind::Str,
+                        text: b[i..=j].iter().collect(),
+                        line: start_line,
+                    });
+                    i = j + 1;
+                } else {
+                    out.push(Token {
+                        kind: Kind::Lifetime,
+                        text: b[i..j].iter().collect(),
+                        line: start_line,
+                    });
+                    i = j;
+                }
+                continue;
+            }
+            // Escaped or punctuation char literal: '\n', '\'', '{'.
+            let mut j = i + 1;
+            if j < n && b[j] == '\\' {
+                j += 2;
+                // \u{...}
+                while j < n && b[j] != '\'' {
+                    j += 1;
+                }
+            } else if j < n {
+                j += 1;
+            }
+            if j < n && b[j] == '\'' {
+                j += 1;
+            }
+            out.push(Token {
+                kind: Kind::Str,
+                text: b[i..j.min(n)].iter().collect(),
+                line: start_line,
+            });
+            bump(&mut i, j.min(n), &mut line, &b);
+            continue;
+        }
+        // Numbers.
+        if c.is_ascii_digit() {
+            let mut j = i + 1;
+            let mut is_float = false;
+            if c == '0' && j < n && (b[j] == 'x' || b[j] == 'o' || b[j] == 'b') {
+                j += 1;
+                while j < n && (b[j].is_ascii_hexdigit() || b[j] == '_') {
+                    j += 1;
+                }
+            } else {
+                while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                    j += 1;
+                }
+                // Decimal point: digit follows (else it's a range/method).
+                if j + 1 < n && b[j] == '.' && b[j + 1].is_ascii_digit() {
+                    is_float = true;
+                    j += 1;
+                    while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                        j += 1;
+                    }
+                } else if j < n && b[j] == '.' && (j + 1 >= n || !(b[j + 1] == '.' || b[j + 1] == '_' || b[j + 1].is_alphabetic())) {
+                    // Trailing-dot float `1.`
+                    is_float = true;
+                    j += 1;
+                }
+                // Exponent.
+                if j < n && (b[j] == 'e' || b[j] == 'E') {
+                    let mut k = j + 1;
+                    if k < n && (b[k] == '+' || b[k] == '-') {
+                        k += 1;
+                    }
+                    if k < n && b[k].is_ascii_digit() {
+                        is_float = true;
+                        j = k;
+                        while j < n && (b[j].is_ascii_digit() || b[j] == '_') {
+                            j += 1;
+                        }
+                    }
+                }
+            }
+            // Type suffix (f64, u32, usize, …).
+            let suf_start = j;
+            while j < n && (b[j] == '_' || b[j].is_alphanumeric()) {
+                j += 1;
+            }
+            let suffix: String = b[suf_start..j].iter().collect();
+            if suffix.starts_with('f') {
+                is_float = true;
+            }
+            out.push(Token {
+                kind: if is_float { Kind::Float } else { Kind::Int },
+                text: b[i..j].iter().collect(),
+                line: start_line,
+            });
+            i = j;
+            continue;
+        }
+        // Punctuation: greedy multi-char match.
+        let mut matched = false;
+        for op in MULTI_PUNCT {
+            let len = op.chars().count();
+            if i + len <= n && b[i..i + len].iter().collect::<String>() == **op {
+                out.push(Token {
+                    kind: Kind::Punct,
+                    text: (*op).to_string(),
+                    line: start_line,
+                });
+                i += len;
+                matched = true;
+                break;
+            }
+        }
+        if !matched {
+            out.push(Token {
+                kind: Kind::Punct,
+                text: c.to_string(),
+                line: start_line,
+            });
+            i += 1;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(Kind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn floats_vs_ranges_vs_methods() {
+        let ts = kinds("let x = 1.0; for i in 0..n {} 2.5e-3; 1f64; 7u32; 3.max(4); 0x1F;");
+        assert!(ts.contains(&(Kind::Float, "1.0".into())));
+        assert!(ts.contains(&(Kind::Int, "0".into())));
+        assert!(ts.contains(&(Kind::Punct, "..".into())));
+        assert!(ts.contains(&(Kind::Float, "2.5e-3".into())));
+        assert!(ts.contains(&(Kind::Float, "1f64".into())));
+        assert!(ts.contains(&(Kind::Int, "7u32".into())));
+        assert!(ts.contains(&(Kind::Int, "3".into())), "3.max(4) must not be a float");
+        assert!(ts.contains(&(Kind::Int, "0x1F".into())));
+    }
+
+    #[test]
+    fn comments_strings_and_fake_operators_inside() {
+        let ts = kinds("let s = \"a == b\"; // x == y\n/* nested /* == */ */ s");
+        let eq_puncts = ts.iter().filter(|(k, t)| *k == Kind::Punct && t == "==").count();
+        assert_eq!(eq_puncts, 0, "== inside strings/comments must not tokenize");
+        assert!(ts.iter().any(|(k, t)| *k == Kind::Comment && t.contains("x == y")));
+        assert!(ts.iter().any(|(k, t)| *k == Kind::Comment && t.contains("nested")));
+    }
+
+    #[test]
+    fn doc_comments_are_distinguished() {
+        let ts = kinds("/// doc\n//! inner\n// plain\nfn x() {}");
+        assert_eq!(ts.iter().filter(|(k, _)| *k == Kind::DocComment).count(), 2);
+        assert_eq!(ts.iter().filter(|(k, _)| *k == Kind::Comment).count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let ts = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }");
+        assert!(ts.contains(&(Kind::Lifetime, "'a".into())));
+        assert!(ts.contains(&(Kind::Str, "'x'".into())));
+        assert!(ts.contains(&(Kind::Str, "'\\n'".into())));
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes() {
+        let ts = kinds(r##"let s = r#"contains "quotes" and == ops"#; t"##);
+        assert!(ts.iter().any(|(k, t)| *k == Kind::Str && t.contains("quotes")));
+        assert!(!ts.iter().any(|(k, t)| *k == Kind::Punct && t == "=="));
+        // The trailing identifier survives.
+        assert!(ts.contains(&(Kind::Ident, "t".into())));
+    }
+
+    #[test]
+    fn line_numbers_are_tracked() {
+        let ts = lex("a\nb\n\nc == d");
+        let a = ts.iter().find(|t| t.text == "a").unwrap();
+        let c = ts.iter().find(|t| t.text == "c").unwrap();
+        let eq = ts.iter().find(|t| t.text == "==").unwrap();
+        assert_eq!(a.line, 1);
+        assert_eq!(c.line, 4);
+        assert_eq!(eq.line, 4);
+    }
+
+    #[test]
+    fn multichar_operators_merge() {
+        let ts = kinds("a <= b >= c != d == e .. f ..= g :: h");
+        for op in ["<=", ">=", "!=", "==", "..", "..=", "::"] {
+            assert!(ts.contains(&(Kind::Punct, op.into())), "{op}");
+        }
+    }
+}

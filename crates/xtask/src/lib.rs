@@ -1,0 +1,212 @@
+//! `rim-xtask`: zero-dependency static analysis for the workspace.
+//!
+//! Run as `cargo run -p rim-xtask -- lint`. Two layers:
+//!
+//! * **Lint rules** ([`rules`]) over a comment/string-aware token
+//!   stream ([`lexer`]): `float-eq`, `squared-distance-mismatch`,
+//!   `no-unwrap-in-lib`, `forbid-unsafe`, `pub-doc-coverage`.
+//!   Intentional violations are silenced in place with
+//!   `// rim-lint: allow(<rule>)` (same + next line) or
+//!   `// rim-lint: allow-file(<rule>)` (whole file).
+//! * **Workspace audits** ([`audit`]): declared-but-unused and
+//!   used-but-undeclared dependencies per crate, an (empty) external
+//!   dependency allowlist keeping the build hermetic, and
+//!   `[[bench]]` ↔ `benches/*.rs` consistency.
+//!
+//! The workspace gates itself on a clean run: an integration test
+//! asserts `run_lint(workspace_root)` returns zero diagnostics, so
+//! `cargo test -q` fails if any rule fires without a pragma.
+
+#![forbid(unsafe_code)]
+
+pub mod audit;
+pub mod lexer;
+pub mod rules;
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+/// One lint or audit finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule name (`float-eq`, `unused-dependency`, …).
+    pub rule: &'static str,
+    /// Workspace-relative file path, `/`-separated.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: [rule] message` — the human-readable form.
+    pub fn human(&self) -> String {
+        format!("{}:{}: [{}] {}", self.file, self.line, self.rule, self.message)
+    }
+
+    /// One JSON object per line, stable key order.
+    pub fn jsonl(&self) -> String {
+        format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\"}}",
+            json_escape(self.rule),
+            json_escape(&self.file),
+            self.line,
+            json_escape(&self.message)
+        )
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml`
+/// declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.lines().any(|l| l.trim() == "[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Is this source file a crate/binary root that must carry
+/// `#![forbid(unsafe_code)]`?
+fn is_crate_root(rel: &str) -> bool {
+    rel.ends_with("src/lib.rs") || rel.ends_with("src/main.rs") || rel.contains("src/bin/")
+}
+
+/// Is this file library code for the `no-unwrap-in-lib` rule? Binary
+/// entry points and `src/bin/` targets may use terse error handling.
+fn is_lib_code(rel: &str) -> bool {
+    !rel.ends_with("main.rs") && !rel.contains("src/bin/")
+}
+
+/// Do the model-crate doc requirements apply to this file?
+fn needs_doc_coverage(rel: &str) -> bool {
+    rel.starts_with("crates/core/src/") || rel.starts_with("crates/highway/src/")
+}
+
+/// Lints and audits the workspace rooted at `root`, returning all
+/// findings sorted by `(file, line, rule)`. `Err` is reserved for
+/// infrastructure failures (unreadable files), not findings.
+pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    // Discover members: the root package plus crates/*.
+    let mut member_dirs = vec![root.to_path_buf()];
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        let entries =
+            std::fs::read_dir(&crates_dir).map_err(|e| format!("{}: {e}", crates_dir.display()))?;
+        let mut dirs: Vec<PathBuf> = entries
+            .flatten()
+            .map(|e| e.path())
+            .filter(|p| p.join("Cargo.toml").is_file())
+            .collect();
+        dirs.sort();
+        member_dirs.extend(dirs);
+    }
+
+    let mut members = Vec::new();
+    for dir in &member_dirs {
+        members.push(audit::load_member(root, dir)?);
+    }
+    let workspace_crates: BTreeSet<String> = members
+        .iter()
+        .map(|m| m.manifest.package_name.clone())
+        .filter(|n| !n.is_empty())
+        .collect();
+
+    let mut out = Vec::new();
+    for member in &members {
+        let has_lib = member.dir.join("src/lib.rs").is_file();
+        for (is_lib_source, sources) in
+            [(true, &member.lib_sources), (false, &member.test_sources)]
+        {
+            for (rel, tokens, ranges) in sources {
+                let pragmas = rules::Pragmas::parse(tokens);
+                let ctx = rules::FileCtx {
+                    path: rel,
+                    tokens,
+                    pragmas: &pragmas,
+                    test_mod_ranges: ranges,
+                };
+                rules::float_eq(&ctx, &mut out);
+                rules::squared_distance_mismatch(&ctx, &mut out);
+                if is_lib_source && has_lib && is_lib_code(rel) {
+                    rules::no_unwrap_in_lib(&ctx, &mut out);
+                }
+                if is_lib_source && is_crate_root(rel) {
+                    rules::forbid_unsafe(&ctx, &mut out);
+                }
+                if needs_doc_coverage(rel) {
+                    rules::pub_doc_coverage(&ctx, &mut out);
+                }
+            }
+        }
+        audit::audit_member(member, &workspace_crates, &mut out);
+    }
+    out.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn diagnostic_formats() {
+        let d = Diagnostic {
+            rule: "float-eq",
+            file: "crates/core/src/receiver.rs".to_string(),
+            line: 7,
+            message: "say \"no\" to == on f64".to_string(),
+        };
+        assert_eq!(
+            d.human(),
+            "crates/core/src/receiver.rs:7: [float-eq] say \"no\" to == on f64"
+        );
+        assert_eq!(
+            d.jsonl(),
+            "{\"rule\":\"float-eq\",\"file\":\"crates/core/src/receiver.rs\",\
+             \"line\":7,\"message\":\"say \\\"no\\\" to == on f64\"}"
+        );
+    }
+
+    #[test]
+    fn json_escape_handles_controls() {
+        assert_eq!(json_escape("a\\b\"c\nd\u{1}"), "a\\\\b\\\"c\\nd\\u0001");
+    }
+
+    #[test]
+    fn crate_root_and_lib_code_classification() {
+        assert!(is_crate_root("crates/core/src/lib.rs"));
+        assert!(is_crate_root("crates/cli/src/main.rs"));
+        assert!(is_crate_root("crates/bench/src/bin/figures.rs"));
+        assert!(!is_crate_root("crates/core/src/receiver.rs"));
+        assert!(is_lib_code("crates/core/src/receiver.rs"));
+        assert!(!is_lib_code("crates/cli/src/main.rs"));
+        assert!(!is_lib_code("crates/bench/src/bin/figures.rs"));
+    }
+}

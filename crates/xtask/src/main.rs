@@ -1,0 +1,91 @@
+//! CLI entry point: `cargo run -p rim-xtask -- lint [--format human|jsonl] [--root PATH]`.
+//!
+//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: cargo run -p rim-xtask -- lint [--format human|jsonl] [--root PATH]";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut format = "human".to_string();
+    let mut root: Option<PathBuf> = None;
+    let mut command: Option<String> = None;
+
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--format" => match it.next() {
+                Some(f) if f == "human" || f == "jsonl" => format = f,
+                _ => return usage_error("--format takes `human` or `jsonl`"),
+            },
+            "--root" => match it.next() {
+                Some(p) => root = Some(PathBuf::from(p)),
+                None => return usage_error("--root takes a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            c if command.is_none() && !c.starts_with('-') => command = Some(arg),
+            _ => return usage_error(&format!("unrecognized argument `{arg}`")),
+        }
+    }
+
+    match command.as_deref() {
+        Some("lint") => {}
+        Some(c) => return usage_error(&format!("unknown command `{c}`")),
+        None => return usage_error("missing command"),
+    }
+
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = match std::env::current_dir() {
+                Ok(c) => c,
+                Err(e) => {
+                    eprintln!("error: cannot determine current directory: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            match rim_xtask::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!("error: no workspace root above {}", cwd.display());
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let diagnostics = match rim_xtask::run_lint(&root) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    for d in &diagnostics {
+        if format == "jsonl" {
+            println!("{}", d.jsonl());
+        } else {
+            println!("{}", d.human());
+        }
+    }
+    if diagnostics.is_empty() {
+        eprintln!("rim-xtask lint: clean ({})", root.display());
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("rim-xtask lint: {} diagnostic(s)", diagnostics.len());
+        ExitCode::FAILURE
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

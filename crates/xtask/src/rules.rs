@@ -1,0 +1,764 @@
+//! Lint rules over the lexed token stream.
+//!
+//! Every rule is lexical: no type information, no parse tree. Each
+//! heuristic is tuned so the *workspace's idioms* stay clean and the
+//! mistakes the rules exist to catch (exact float comparison, mixing a
+//! squared distance against an unsquared radius, panicking library
+//! paths) fire reliably. Intentional violations are silenced in place
+//! with `// rim-lint: allow(<rule>)` pragmas, which keeps every
+//! exception visible at the site that needs it.
+
+use crate::lexer::{lex, Kind, Token};
+use crate::Diagnostic;
+
+/// All rule names, as used in pragmas and diagnostics.
+pub const RULES: &[&str] = &[
+    "float-eq",
+    "squared-distance-mismatch",
+    "no-unwrap-in-lib",
+    "forbid-unsafe",
+    "pub-doc-coverage",
+];
+
+/// Identifiers that suggest a comparison operand is floating-point.
+/// Domain-specific names (`dist`, `radius`, `weight`, …) are included
+/// because this workspace stores every one of them as `f64`.
+const FLOAT_HINT_IDENTS: &[&str] = &[
+    "f64",
+    "f32",
+    "dist",
+    "dist_sq",
+    "distance",
+    "weight",
+    "radius",
+    "norm",
+    "norm_sq",
+    "INFINITY",
+    "NEG_INFINITY",
+    "NAN",
+    "EPSILON",
+    "MIN_POSITIVE",
+];
+
+/// Identifiers that denote an *unsquared* metric quantity.
+const PLAIN_DIST_IDENTS: &[&str] = &["dist", "distance", "radius", "r"];
+
+/// Counter-evidence that a comparison is on integers after all: an
+/// integer-typed name or literal in the window (`dist[v] == usize::MAX`
+/// is the BFS hop-count idiom, not a float comparison).
+const INT_HINT_IDENTS: &[&str] = &[
+    "usize", "isize", "u8", "u16", "u32", "u64", "u128", "i8", "i16", "i32", "i64", "i128",
+    "len", "count",
+];
+
+/// Parsed suppression pragmas for one file.
+pub struct Pragmas {
+    /// `(rule, line)` pairs: suppress `rule` on `line` and `line + 1`.
+    line_allows: Vec<(String, u32)>,
+    /// Rules suppressed for the whole file.
+    file_allows: Vec<String>,
+}
+
+impl Pragmas {
+    /// Extracts pragmas from comment tokens. Grammar:
+    /// `// rim-lint: allow(rule-a, rule-b)` (same + next line) and
+    /// `// rim-lint: allow-file(rule-a)` (whole file).
+    pub fn parse(tokens: &[Token]) -> Pragmas {
+        let mut line_allows = Vec::new();
+        let mut file_allows = Vec::new();
+        for t in tokens {
+            if !matches!(t.kind, Kind::Comment | Kind::DocComment) {
+                continue;
+            }
+            let Some(rest) = t.text.find("rim-lint:").map(|p| &t.text[p + 9..]) else {
+                continue;
+            };
+            let rest = rest.trim_start();
+            let (file_scope, args) = if let Some(a) = rest.strip_prefix("allow-file(") {
+                (true, a)
+            } else if let Some(a) = rest.strip_prefix("allow(") {
+                (false, a)
+            } else {
+                continue;
+            };
+            let Some(end) = args.find(')') else { continue };
+            for rule in args[..end].split(',') {
+                let rule = rule.trim().to_string();
+                if rule.is_empty() {
+                    continue;
+                }
+                if file_scope {
+                    file_allows.push(rule);
+                } else {
+                    line_allows.push((rule, t.line));
+                }
+            }
+        }
+        Pragmas { line_allows, file_allows }
+    }
+
+    /// Is `rule` suppressed at `line`?
+    pub fn allows(&self, rule: &str, line: u32) -> bool {
+        self.file_allows.iter().any(|r| r == rule)
+            || self
+                .line_allows
+                .iter()
+                .any(|(r, l)| r == rule && (line == *l || line == *l + 1))
+    }
+}
+
+/// Context handed to each rule: one file, lexed once.
+pub struct FileCtx<'a> {
+    /// Workspace-relative path, `/`-separated.
+    pub path: &'a str,
+    /// Token stream (comments included).
+    pub tokens: &'a [Token],
+    /// Suppression pragmas.
+    pub pragmas: &'a Pragmas,
+    /// Token-index ranges covered by `#[cfg(test)] mod … { … }`.
+    pub test_mod_ranges: &'a [(usize, usize)],
+}
+
+impl FileCtx<'_> {
+    fn emit(&self, out: &mut Vec<Diagnostic>, rule: &'static str, line: u32, message: String) {
+        if self.pragmas.allows(rule, line) {
+            return;
+        }
+        out.push(Diagnostic {
+            rule,
+            file: self.path.to_string(),
+            line,
+            message,
+        });
+    }
+
+    fn in_test_mod(&self, idx: usize) -> bool {
+        self.test_mod_ranges.iter().any(|&(a, b)| idx >= a && idx < b)
+    }
+}
+
+/// Lexes a file and computes everything the rules need.
+pub fn prepare(src: &str) -> (Vec<Token>, Vec<(usize, usize)>) {
+    let tokens = lex(src);
+    let ranges = test_mod_ranges(&tokens);
+    (tokens, ranges)
+}
+
+/// Finds token-index ranges of `#[cfg(test)] mod name { … }` bodies by
+/// brace matching, so library rules can skip inline test code.
+fn test_mod_ranges(tokens: &[Token]) -> Vec<(usize, usize)> {
+    let code: Vec<(usize, &Token)> = tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+        .collect();
+    let mut ranges = Vec::new();
+    let mut i = 0usize;
+    while i < code.len() {
+        // Match `# [ cfg ( test ) ]` allowing extra args like
+        // `cfg(all(test, …))` by just requiring `test` within the group.
+        if code[i].1.text == "#"
+            && i + 2 < code.len()
+            && code[i + 1].1.text == "["
+            && code[i + 2].1.text == "cfg"
+        {
+            // Find the closing `]` of the attribute.
+            let mut j = i + 1;
+            let mut depth = 0i32;
+            let mut saw_test = false;
+            while j < code.len() {
+                match code[j].1.text.as_str() {
+                    "[" => depth += 1,
+                    "]" => {
+                        depth -= 1;
+                        if depth == 0 {
+                            break;
+                        }
+                    }
+                    "test" => saw_test = true,
+                    _ => {}
+                }
+                j += 1;
+            }
+            if saw_test && j + 1 < code.len() && code[j + 1].1.text == "mod" {
+                // Skip to the opening brace, then to its match.
+                let mut k = j + 1;
+                while k < code.len() && code[k].1.text != "{" && code[k].1.text != ";" {
+                    k += 1;
+                }
+                if k < code.len() && code[k].1.text == "{" {
+                    let mut bd = 0i32;
+                    let mut m = k;
+                    while m < code.len() {
+                        match code[m].1.text.as_str() {
+                            "{" => bd += 1,
+                            "}" => {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        m += 1;
+                    }
+                    let end = if m < code.len() { code[m].0 + 1 } else { tokens.len() };
+                    ranges.push((code[i].0, end));
+                    i = code.len().min(m + 1);
+                    continue;
+                }
+            }
+            i = j + 1;
+            continue;
+        }
+        i += 1;
+    }
+    ranges
+}
+
+/// Tokens that delimit a comparison operand at nesting depth 0.
+fn is_window_stop(text: &str) -> bool {
+    matches!(
+        text,
+        "," | ";" | "{" | "}" | "&&" | "||" | "=" | "=>" | "return" | "if" | "while" | "assert"
+            | "debug_assert" | "<" | "<=" | ">" | ">=" | "==" | "!="
+    )
+}
+
+/// Collects the operand window on one side of the comparison at token
+/// index `op`, skipping comments and balancing `()`/`[]` so method
+/// calls and index expressions stay inside the window. `dir` is `-1`
+/// for the left operand, `+1` for the right.
+fn operand_window<'a>(tokens: &'a [Token], op: usize, dir: i64) -> Vec<&'a Token> {
+    let mut out = Vec::new();
+    let mut depth = 0i64;
+    let mut i = op as i64 + dir;
+    let mut steps = 0;
+    while i >= 0 && (i as usize) < tokens.len() && steps < 40 {
+        let t = &tokens[i as usize];
+        i += dir;
+        if matches!(t.kind, Kind::Comment | Kind::DocComment) {
+            continue;
+        }
+        steps += 1;
+        let (open, close) = if dir < 0 { (")", "(") } else { ("(", ")") };
+        let (bopen, bclose) = if dir < 0 { ("]", "[") } else { ("[", "]") };
+        if t.text == open || t.text == bopen {
+            depth += 1;
+            out.push(t);
+            continue;
+        }
+        if t.text == close || t.text == bclose {
+            if depth == 0 {
+                break; // enclosing group: operand ends here
+            }
+            depth -= 1;
+            out.push(t);
+            continue;
+        }
+        if depth == 0 && t.kind == Kind::Punct && is_window_stop(&t.text) {
+            break;
+        }
+        if depth == 0 && t.kind == Kind::Ident && is_window_stop(&t.text) {
+            break;
+        }
+        out.push(t);
+    }
+    if dir < 0 {
+        // Collected right-to-left; restore source order so sequence
+        // checks (`powi ( 2 )`) see the tokens as written.
+        out.reverse();
+    }
+    out
+}
+
+/// `float-eq`: `==` / `!=` where an operand looks floating-point.
+///
+/// Def 3.1's closed predicate is `dist(u,v) <= r_u` — *ordering*
+/// comparisons on distances are the model; exact *equality* on floats
+/// is almost always a bug (ties must go through `total_cmp` or an
+/// explicit epsilon, and say so with a pragma).
+pub fn float_eq(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let declared = declared_float_idents(ctx.tokens);
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != Kind::Punct || (t.text != "==" && t.text != "!=") {
+            continue;
+        }
+        let mut window = operand_window(ctx.tokens, i, -1);
+        window.extend(operand_window(ctx.tokens, i, 1));
+        let literal = window.iter().find(|w| w.kind == Kind::Float);
+        let ident_hint = window.iter().find(|w| {
+            w.kind == Kind::Ident
+                && (FLOAT_HINT_IDENTS.contains(&w.text.as_str()) || declared.contains(&w.text))
+        });
+        // A name-based hint yields to integer counter-evidence; a float
+        // literal is unambiguous.
+        let int_evidence = window.iter().any(|w| {
+            w.kind == Kind::Int
+                || (w.kind == Kind::Ident && INT_HINT_IDENTS.contains(&w.text.as_str()))
+        });
+        let hint = literal.or(if int_evidence { None } else { ident_hint });
+        if let Some(h) = hint {
+            ctx.emit(
+                out,
+                "float-eq",
+                t.line,
+                format!(
+                    "`{}` on a floating-point quantity (saw `{}`); use an ordering \
+                     predicate, `total_cmp`, or an explicit tolerance — or annotate \
+                     with `// rim-lint: allow(float-eq)` if exact equality is intended",
+                    t.text, h.text
+                ),
+            );
+        }
+    }
+}
+
+/// Collects identifiers the file *declares* as floating-point:
+/// `name: f64` / `name: &f64` ascriptions (params, fields, lets) and
+/// `let name = <float literal>` bindings. Lets `float-eq` catch
+/// comparisons of plainly-named floats whose type annotation sits
+/// outside the operand window.
+fn declared_float_idents(tokens: &[Token]) -> std::collections::BTreeSet<String> {
+    let mut out = std::collections::BTreeSet::new();
+    let code: Vec<&Token> = tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+        .collect();
+    let is_float_ty = |t: &Token| t.kind == Kind::Ident && (t.text == "f64" || t.text == "f32");
+    for w in code.windows(4) {
+        // name : f64   |   name : & f64
+        if w[0].kind == Kind::Ident
+            && w[1].text == ":"
+            && (is_float_ty(w[2]) || (w[2].text == "&" && is_float_ty(w[3])))
+        {
+            out.insert(w[0].text.clone());
+        }
+        // let name = <float literal>
+        if w[0].text == "let" && w[1].kind == Kind::Ident && w[2].text == "=" && w[3].kind == Kind::Float
+        {
+            out.insert(w[1].text.clone());
+        }
+    }
+    // let mut name = <float literal>
+    for w in code.windows(5) {
+        if w[0].text == "let"
+            && w[1].text == "mut"
+            && w[2].kind == Kind::Ident
+            && w[3].text == "="
+            && w[4].kind == Kind::Float
+        {
+            out.insert(w[2].text.clone());
+        }
+    }
+    out
+}
+
+/// Is this operand window "squared"? True for idents containing `sq`,
+/// `powi(2)`, and self-multiplications like `r * r`.
+fn window_is_squared(window: &[&Token]) -> bool {
+    for (i, t) in window.iter().enumerate() {
+        if t.kind == Kind::Ident && t.text.to_ascii_lowercase().contains("sq") {
+            return true;
+        }
+        if t.kind == Kind::Ident && t.text == "powi" {
+            // …powi ( 2 )
+            let rest: Vec<&&Token> = window[i + 1..].iter().take(3).collect();
+            if rest.len() == 3 && rest[0].text == "(" && rest[1].text == "2" && rest[2].text == ")"
+            {
+                return true;
+            }
+        }
+        if t.kind == Kind::Punct && t.text == "*" {
+            // ident * ident with equal names (allowing a leading `.`-path tail).
+            let left = window[..i].iter().rev().find(|w| w.kind == Kind::Ident);
+            let right = window[i + 1..].iter().find(|w| w.kind == Kind::Ident);
+            if let (Some(l), Some(r)) = (left, right) {
+                if l.text == r.text {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Is this operand window a *plain* (unsquared) metric quantity?
+fn window_is_plain_dist(window: &[&Token]) -> bool {
+    window
+        .iter()
+        .any(|t| t.kind == Kind::Ident && PLAIN_DIST_IDENTS.contains(&t.text.as_str()))
+}
+
+/// `squared-distance-mismatch`: a comparison with exactly one squared
+/// side and one plain-distance side. Comparing `dist_sq(u,v)` against
+/// `r` (or `dist` against `r * r`) silently changes which boundary
+/// points satisfy Def 3.1's closed predicate and breaks the scale of
+/// the comparison; both sides must live at the same power.
+pub fn squared_distance_mismatch(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != Kind::Punct
+            || !matches!(t.text.as_str(), "<" | "<=" | ">" | ">=" | "==" | "!=")
+        {
+            continue;
+        }
+        let left = operand_window(ctx.tokens, i, -1);
+        let right = operand_window(ctx.tokens, i, 1);
+        let lsq = window_is_squared(&left);
+        let rsq = window_is_squared(&right);
+        let lpl = !lsq && window_is_plain_dist(&left);
+        let rpl = !rsq && window_is_plain_dist(&right);
+        if (lsq && rpl) || (rsq && lpl) {
+            ctx.emit(
+                out,
+                "squared-distance-mismatch",
+                t.line,
+                format!(
+                    "comparison `{}` mixes a squared quantity with an unsquared \
+                     distance/radius; compare both at the same power (the workspace \
+                     convention is distance-level, matching Def 3.1's closed predicate)",
+                    t.text
+                ),
+            );
+        }
+    }
+}
+
+/// `no-unwrap-in-lib`: `.unwrap()`, `.expect(…)`, and `panic!` in
+/// non-test library code. Library paths must return `Result`/`Option`
+/// or document why panicking is correct via a pragma.
+pub fn no_unwrap_in_lib(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let code: Vec<(usize, &Token)> = ctx
+        .tokens
+        .iter()
+        .enumerate()
+        .filter(|(_, t)| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+        .collect();
+    for w in code.windows(3) {
+        let (idx, a) = w[0];
+        let b = w[1].1;
+        let c = w[2].1;
+        if ctx.in_test_mod(idx) {
+            continue;
+        }
+        let fire = |name: &str| -> Option<String> {
+            Some(format!(
+                "`{name}` in library code; propagate the error (`Result`/`Option`) or \
+                 annotate with `// rim-lint: allow(no-unwrap-in-lib)` stating why it \
+                 cannot fail"
+            ))
+        };
+        let msg = if a.text == "." && b.kind == Kind::Ident && c.text == "(" {
+            match b.text.as_str() {
+                "unwrap" => fire(".unwrap()"),
+                "expect" => fire(".expect()"),
+                _ => None,
+            }
+        } else if a.kind == Kind::Ident && b.text == "!" && c.text == "(" {
+            match a.text.as_str() {
+                "panic" => fire("panic!"),
+                "unreachable" => fire("unreachable!"),
+                "todo" => fire("todo!"),
+                "unimplemented" => fire("unimplemented!"),
+                _ => None,
+            }
+        } else {
+            None
+        };
+        if let Some(m) = msg {
+            ctx.emit(out, "no-unwrap-in-lib", b.line, m);
+        }
+    }
+}
+
+/// `forbid-unsafe`: the crate root must carry `#![forbid(unsafe_code)]`.
+/// Only meaningful on crate-root files; the caller gates on path.
+pub fn forbid_unsafe(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    let code: Vec<&Token> = ctx
+        .tokens
+        .iter()
+        .filter(|t| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+        .collect();
+    let want = ["#", "!", "[", "forbid", "(", "unsafe_code", ")", "]"];
+    let found = code
+        .windows(want.len())
+        .any(|w| w.iter().zip(want.iter()).all(|(t, s)| t.text == *s));
+    if !found {
+        ctx.emit(
+            out,
+            "forbid-unsafe",
+            1,
+            "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
+        );
+    }
+}
+
+/// Item keywords whose `pub` form must be documented.
+const DOC_ITEM_KEYWORDS: &[&str] = &[
+    "fn", "struct", "enum", "trait", "const", "static", "type", "mod", "union",
+];
+
+/// `pub-doc-coverage`: every public item in the model crates needs a
+/// doc comment. The caller restricts this rule to `rim-core` and
+/// `rim-highway` sources — the crates that encode the paper's
+/// definitions, where an undocumented export is an unexplained claim.
+pub fn pub_doc_coverage(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (i, t) in ctx.tokens.iter().enumerate() {
+        if t.kind != Kind::Ident || t.text != "pub" {
+            continue;
+        }
+        if ctx.in_test_mod(i) {
+            continue;
+        }
+        // Find what follows `pub`: skip a `(crate)`/`(super)` visibility
+        // qualifier (restricted visibility is not public API — skip the
+        // item entirely), then an optional `unsafe`/`async`/`extern`.
+        let mut j = i + 1;
+        let skip_trivia = |k: &mut usize| {
+            while *k < ctx.tokens.len()
+                && matches!(ctx.tokens[*k].kind, Kind::Comment | Kind::DocComment)
+            {
+                *k += 1;
+            }
+        };
+        skip_trivia(&mut j);
+        if j < ctx.tokens.len() && ctx.tokens[j].text == "(" {
+            continue; // pub(crate) / pub(super): not public API
+        }
+        while j < ctx.tokens.len()
+            && matches!(ctx.tokens[j].text.as_str(), "unsafe" | "async" | "extern")
+        {
+            j += 1;
+            skip_trivia(&mut j);
+        }
+        if j >= ctx.tokens.len() {
+            continue;
+        }
+        let kw = &ctx.tokens[j];
+        if kw.kind != Kind::Ident || !DOC_ITEM_KEYWORDS.contains(&kw.text.as_str()) {
+            continue; // pub use, pub in a pattern, …
+        }
+        let name = ctx
+            .tokens
+            .get(j + 1)
+            .map(|n| n.text.clone())
+            .unwrap_or_default();
+        // Walk backwards over attributes (`#[…]`) to the token before
+        // the item; documented iff that token is a doc comment.
+        let mut k = i as i64 - 1;
+        let documented = loop {
+            if k < 0 {
+                break false;
+            }
+            let prev = &ctx.tokens[k as usize];
+            match prev.kind {
+                Kind::DocComment => break true,
+                Kind::Comment => {
+                    k -= 1;
+                }
+                _ if prev.text == "]" => {
+                    // Skip the attribute group `#[ … ]`.
+                    let mut depth = 0i32;
+                    while k >= 0 {
+                        match ctx.tokens[k as usize].text.as_str() {
+                            "]" => depth += 1,
+                            "[" => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        k -= 1;
+                    }
+                    k -= 1; // the `#`
+                    if k >= 0 && ctx.tokens[k as usize].text == "#" {
+                        k -= 1;
+                    }
+                }
+                _ => break false,
+            }
+        };
+        if !documented {
+            ctx.emit(
+                out,
+                "pub-doc-coverage",
+                t.line,
+                format!("public item `{} {}` has no doc comment", kw.text, name),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(rule: fn(&FileCtx, &mut Vec<Diagnostic>), src: &str) -> Vec<Diagnostic> {
+        let (tokens, ranges) = prepare(src);
+        let pragmas = Pragmas::parse(&tokens);
+        let ctx = FileCtx {
+            path: "test.rs",
+            tokens: &tokens,
+            pragmas: &pragmas,
+            test_mod_ranges: &ranges,
+        };
+        let mut out = Vec::new();
+        rule(&ctx, &mut out);
+        out
+    }
+
+    // ---- float-eq ----
+
+    #[test]
+    fn float_eq_fires_on_literal_and_hint_idents() {
+        assert_eq!(run(float_eq, "if x == 1.0 { }").len(), 1);
+        assert_eq!(run(float_eq, "if a.dist(b) == c { }").len(), 1);
+        assert_eq!(run(float_eq, "if radius != other { }").len(), 1);
+        assert_eq!(run(float_eq, "if w == f64::INFINITY { }").len(), 1);
+    }
+
+    #[test]
+    fn float_eq_clean_on_ints_strings_comments() {
+        assert_eq!(run(float_eq, "if n == 3 { }").len(), 0);
+        assert_eq!(run(float_eq, "let s = \"x == 1.0\";").len(), 0);
+        assert_eq!(run(float_eq, "// x == 1.0\nlet y = 2;").len(), 0);
+        assert_eq!(run(float_eq, "if name == \"radius\" { }").len(), 0);
+    }
+
+    #[test]
+    fn float_eq_window_stops_at_statement_boundaries() {
+        // The float on the previous statement must not leak into the
+        // window of the integer comparison.
+        assert_eq!(run(float_eq, "let a = 1.0; if n == 3 { }").len(), 0);
+        assert_eq!(run(float_eq, "f(1.0, n == 3)").len(), 0);
+    }
+
+    #[test]
+    fn float_eq_sees_file_local_float_declarations() {
+        // The type annotation sits outside the operand window; the
+        // file-level declaration pass still catches the comparison.
+        assert_eq!(run(float_eq, "fn f(x: f64, y: f64) -> bool { x == y }").len(), 1);
+        assert_eq!(run(float_eq, "fn f() { let a = 0.5; g(); if a == b { } }").len(), 1);
+        assert_eq!(run(float_eq, "fn f(p: &f64) -> bool { *p == q }").len(), 1);
+        // Same names, integer types: clean.
+        assert_eq!(run(float_eq, "fn f(x: u32, y: u32) -> bool { x == y }").len(), 0);
+    }
+
+    #[test]
+    fn float_eq_yields_to_integer_counter_evidence() {
+        // BFS hop counts reuse metric-sounding names at integer type.
+        assert_eq!(run(float_eq, "if dist[v] == usize::MAX { }").len(), 0);
+        assert_eq!(run(float_eq, "if dist[v] == dist[u] + 1 { }").len(), 0);
+        // A float literal overrides the counter-evidence.
+        assert_eq!(run(float_eq, "if dist[v] == 1.0 + (n as f64) { }").len(), 1);
+    }
+
+    #[test]
+    fn float_eq_pragma_suppresses() {
+        let src = "// rim-lint: allow(float-eq)\nif x == 1.0 { }";
+        assert_eq!(run(float_eq, src).len(), 0);
+        let trailing = "if x == 1.0 { } // rim-lint: allow(float-eq)";
+        assert_eq!(run(float_eq, trailing).len(), 0);
+        let file = "// rim-lint: allow-file(float-eq)\nfn f() { }\nfn g() { let _ = x == 1.0; }";
+        assert_eq!(run(float_eq, file).len(), 0);
+        // The wrong rule name does not suppress.
+        let wrong = "// rim-lint: allow(no-unwrap-in-lib)\nif x == 1.0 { }";
+        assert_eq!(run(float_eq, wrong).len(), 1);
+    }
+
+    // ---- squared-distance-mismatch ----
+
+    #[test]
+    fn sq_mismatch_fires_on_mixed_powers() {
+        assert_eq!(run(squared_distance_mismatch, "if a.dist_sq(b) <= r { }").len(), 1);
+        assert_eq!(run(squared_distance_mismatch, "if dist < r * r { }").len(), 1);
+        assert_eq!(run(squared_distance_mismatch, "if d.powi(2) <= radius { }").len(), 1);
+    }
+
+    #[test]
+    fn sq_mismatch_clean_on_consistent_powers() {
+        assert_eq!(run(squared_distance_mismatch, "if a.dist(b) <= r { }").len(), 0);
+        assert_eq!(run(squared_distance_mismatch, "if a.dist_sq(b) <= r * r { }").len(), 0);
+        assert_eq!(
+            run(squared_distance_mismatch, "if a.dist_sq(b) <= r_sq { }").len(),
+            0
+        );
+        assert_eq!(run(squared_distance_mismatch, "if n < m { }").len(), 0);
+    }
+
+    // ---- no-unwrap-in-lib ----
+
+    #[test]
+    fn unwrap_fires_outside_tests_only() {
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { x.unwrap(); }").len(), 1);
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { x.expect(\"m\"); }").len(), 1);
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { panic!(\"m\"); }").len(), 1);
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { unreachable!() }").len(), 1);
+        let test_mod = "#[cfg(test)]\nmod tests {\n fn f() { x.unwrap(); panic!(); }\n}";
+        assert_eq!(run(no_unwrap_in_lib, test_mod).len(), 0);
+        // Code after the test mod is scanned again.
+        let after = "#[cfg(test)]\nmod tests { fn f() { x.unwrap(); } }\nfn g() { y.unwrap(); }";
+        assert_eq!(run(no_unwrap_in_lib, after).len(), 1);
+    }
+
+    #[test]
+    fn unwrap_clean_on_lookalikes() {
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { x.unwrap_or(0); }").len(), 0);
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { x.unwrap_or_else(g); }").len(), 0);
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { x.expect_err(\"m\"); }").len(), 0);
+        assert_eq!(run(no_unwrap_in_lib, "// x.unwrap()\nfn f() { }").len(), 0);
+    }
+
+    // ---- forbid-unsafe ----
+
+    #[test]
+    fn forbid_unsafe_checks_the_attribute() {
+        assert_eq!(run(forbid_unsafe, "#![forbid(unsafe_code)]\nfn f() {}").len(), 0);
+        assert_eq!(run(forbid_unsafe, "//! docs\n#![forbid(unsafe_code)]").len(), 0);
+        assert_eq!(run(forbid_unsafe, "fn f() {}").len(), 1);
+        // A comment mentioning it does not count.
+        assert_eq!(run(forbid_unsafe, "// #![forbid(unsafe_code)]\nfn f() {}").len(), 1);
+    }
+
+    // ---- pub-doc-coverage ----
+
+    #[test]
+    fn doc_coverage_requires_doc_comments() {
+        assert_eq!(run(pub_doc_coverage, "/// Documented.\npub fn f() {}").len(), 0);
+        assert_eq!(run(pub_doc_coverage, "pub fn f() {}").len(), 1);
+        // Attributes between the doc comment and the item are fine.
+        let attr = "/// Doc.\n#[derive(Debug)]\npub struct S;";
+        assert_eq!(run(pub_doc_coverage, attr).len(), 0);
+        // pub(crate) is not public API.
+        assert_eq!(run(pub_doc_coverage, "pub(crate) fn f() {}").len(), 0);
+        // pub use re-exports are exempt.
+        assert_eq!(run(pub_doc_coverage, "pub use crate::x::Y;").len(), 0);
+        // Undocumented method inside an impl fires too.
+        let m = "/// S.\npub struct S;\nimpl S {\n pub fn f(&self) {}\n}";
+        assert_eq!(run(pub_doc_coverage, m).len(), 1);
+    }
+
+    #[test]
+    fn doc_coverage_skips_test_mods() {
+        let src = "#[cfg(test)]\nmod tests { pub fn helper() {} }";
+        assert_eq!(run(pub_doc_coverage, src).len(), 0);
+    }
+
+    // ---- pragmas ----
+
+    #[test]
+    fn pragma_parsing_handles_lists_and_scopes() {
+        let (tokens, _) = prepare(
+            "// rim-lint: allow(float-eq, no-unwrap-in-lib)\n// rim-lint: allow-file(forbid-unsafe)\n",
+        );
+        let p = Pragmas::parse(&tokens);
+        assert!(p.allows("float-eq", 1));
+        assert!(p.allows("float-eq", 2));
+        assert!(!p.allows("float-eq", 3));
+        assert!(p.allows("no-unwrap-in-lib", 1));
+        assert!(p.allows("forbid-unsafe", 999));
+        assert!(!p.allows("pub-doc-coverage", 1));
+    }
+}

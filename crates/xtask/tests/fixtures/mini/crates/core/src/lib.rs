@@ -1,0 +1,8 @@
+use demo::check;
+
+/// Returns seven.
+pub fn seven() -> u32 {
+    7
+}
+
+pub fn undocumented() {}

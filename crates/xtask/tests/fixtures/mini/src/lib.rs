@@ -1,0 +1,27 @@
+#![forbid(unsafe_code)]
+
+/// Exact equality — deliberately wrong for the fixture.
+pub fn check(x: f64) -> bool {
+    x == 1.0
+}
+
+/// Mixed powers — deliberately wrong for the fixture.
+pub fn nearby(d: f64, r: f64) -> bool {
+    d * d <= r
+}
+
+/// Panics — deliberately wrong for the fixture.
+pub fn boom(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+/// Suppressed by pragma.
+pub fn quiet(x: f64) -> bool {
+    // rim-lint: allow(float-eq)
+    x == 2.0
+}
+
+/// Uses the sibling crate.
+pub fn ok() -> u32 {
+    demo_core::seven()
+}

@@ -41,6 +41,8 @@
 //! | [`sim`] | slot-synchronous MAC simulator on the disk model |
 //! | [`workloads`] | deterministic instance generators |
 
+#![forbid(unsafe_code)]
+
 pub use rim_core as interference;
 pub use rim_geom as geom;
 pub use rim_graph as graph;

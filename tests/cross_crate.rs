@@ -1,8 +1,9 @@
 //! Cross-crate invariants exercised through the facade's public API.
 
 #![allow(clippy::needless_range_loop)] // node-id-indexed loops by design
-use proptest::prelude::*;
 use rim::prelude::*;
+use rim_rng::prop::check;
+use rim_rng::{prop_ensure, prop_ensure_eq, SmallRng};
 
 /// Every baseline output is a valid topology-control result on random
 /// fields: subgraph of the UDG and (except the NNF) connectivity
@@ -59,8 +60,7 @@ fn interference_sandwich_on_all_baselines() {
 /// small highway instances.
 #[test]
 fn optimum_is_sandwiched_by_certificate_and_heuristics() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(77);
+    let mut rng = rim_rng::SmallRng::seed_from_u64(77);
     for _ in 0..6 {
         let n = 5 + (rng.gen::<u64>() % 3) as usize;
         let xs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 1.8).collect();
@@ -110,36 +110,63 @@ fn simulation_accounting_is_consistent() {
     assert!(m.total_hops >= m.delivered);
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+/// Random highway positions: `len` in `[min_len, max_len)`, coordinates
+/// uniform in `[0, hi)`.
+fn arb_positions(rng: &mut SmallRng, min_len: usize, max_len: usize, hi: f64) -> Vec<f64> {
+    let n = rng.gen_range(min_len..max_len);
+    (0..n).map(|_| rng.gen_range(0.0f64..hi)).collect()
+}
 
-    /// A_apx always produces a valid connectivity-preserving topology on
-    /// arbitrary highway instances (including disconnected ones).
-    #[test]
-    fn aapx_is_always_valid(xs in proptest::collection::vec(0.0f64..6.0, 2..40)) {
-        let h = HighwayInstance::new(xs);
-        let r = a_apx(&h);
-        let udg = h.udg();
-        prop_assert!(r.topology.preserves_connectivity_of(&udg));
-        prop_assert!(r.topology.respects_range(1.0));
-    }
+/// A_apx always produces a valid connectivity-preserving topology on
+/// arbitrary highway instances (including disconnected ones).
+#[test]
+fn aapx_is_always_valid() {
+    check(
+        "aapx_is_always_valid",
+        32,
+        |rng| arb_positions(rng, 2, 40, 6.0),
+        |xs| {
+            let h = HighwayInstance::new(xs.clone());
+            let r = a_apx(&h);
+            let udg = h.udg();
+            prop_ensure!(r.topology.preserves_connectivity_of(&udg));
+            prop_ensure!(r.topology.respects_range(1.0));
+            Ok(())
+        },
+    );
+}
 
-    /// A_gen likewise, with the O(√Δ) bound.
-    #[test]
-    fn agen_is_always_valid(xs in proptest::collection::vec(0.0f64..4.0, 2..60)) {
-        let h = HighwayInstance::new(xs);
-        let r = a_gen(&h);
-        prop_assert!(r.topology.preserves_connectivity_of(&h.udg()));
-        let i = graph_interference(&r.topology) as f64;
-        let delta = h.max_degree() as f64;
-        prop_assert!(i <= 9.0 * delta.sqrt() + 6.0, "I={i} Δ={delta}");
-    }
+/// A_gen likewise, with the O(√Δ) bound.
+#[test]
+fn agen_is_always_valid() {
+    check(
+        "agen_is_always_valid",
+        32,
+        |rng| arb_positions(rng, 2, 60, 4.0),
+        |xs| {
+            let h = HighwayInstance::new(xs.clone());
+            let r = a_gen(&h);
+            prop_ensure!(r.topology.preserves_connectivity_of(&h.udg()));
+            let i = graph_interference(&r.topology) as f64;
+            let delta = h.max_degree() as f64;
+            prop_ensure!(i <= 9.0 * delta.sqrt() + 6.0, "I={i} Δ={delta}");
+            Ok(())
+        },
+    );
+}
 
-    /// γ equals the interference of the linear connection whenever that
-    /// connection is feasible.
-    #[test]
-    fn gamma_matches_linear_interference(xs in proptest::collection::vec(0.0f64..1.0, 2..30)) {
-        let h = HighwayInstance::new(xs);
-        prop_assert_eq!(gamma(&h), graph_interference(&h.linear_topology()));
-    }
+/// γ equals the interference of the linear connection whenever that
+/// connection is feasible.
+#[test]
+fn gamma_matches_linear_interference() {
+    check(
+        "gamma_matches_linear_interference",
+        32,
+        |rng| arb_positions(rng, 2, 30, 1.0),
+        |xs| {
+            let h = HighwayInstance::new(xs.clone());
+            prop_ensure_eq!(gamma(&h), graph_interference(&h.linear_topology()));
+            Ok(())
+        },
+    );
 }

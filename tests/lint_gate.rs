@@ -1,0 +1,21 @@
+//! Tier-1 lint gate: `cargo test -q` from the workspace root fails if
+//! `cargo run -p rim-xtask -- lint` would report anything. This is the
+//! enforcement point for the project's numeric discipline (no exact
+//! float equality, distance-level comparisons) and hermeticity (no
+//! external dependencies, ever).
+
+use std::path::Path;
+
+#[test]
+fn workspace_lint_is_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let diags = rim_xtask::run_lint(root).expect("lint must run on the workspace");
+    let rendered: Vec<String> = diags.iter().map(|d| d.human()).collect();
+    assert!(
+        diags.is_empty(),
+        "`cargo run -p rim-xtask -- lint` would report {} diagnostic(s):\n{}\n\
+         fix the findings or annotate intentional sites with `// rim-lint: allow(<rule>)`",
+        diags.len(),
+        rendered.join("\n")
+    );
+}

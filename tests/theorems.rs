@@ -102,8 +102,7 @@ fn theorem_5_4_agen_sqrt_delta() {
 /// instances.
 #[test]
 fn theorem_5_6_aapx_approximation_ratio() {
-    use rand::{Rng, SeedableRng};
-    let mut rng = rand::rngs::SmallRng::seed_from_u64(4242);
+    let mut rng = rim_rng::SmallRng::seed_from_u64(4242);
     for trial in 0..10 {
         let n = 6 + trial % 3;
         let xs: Vec<f64> = (0..n).map(|_| rng.gen::<f64>() * 2.0).collect();
