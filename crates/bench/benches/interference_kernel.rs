@@ -1,23 +1,59 @@
-//! Kernel microbench: the receiver-centric interference computation,
-//! naive `O(n²)` vs grid-accelerated, plus the sender-centric measure.
+//! Kernel microbench: the receiver-centric interference engines —
+//! naive `O(n²)` oracle vs indexed vs parallel — plus the incremental
+//! structure on single-edge updates (against full recomputation) and
+//! the batched sender-centric measure.
+//!
+//! Claims the JSONL should witness: the indexed engine beats the naive
+//! scan from a few thousand nodes up, and a single-edge update through
+//! [`DynamicInterference`] beats recomputing the topology from scratch.
 
 use rim_bench::timing::Harness;
-use rim_core::receiver::{interference_vector, interference_vector_naive};
+use rim_core::receiver::{interference_vector_naive, interference_vector_with, Engine};
 use rim_core::sender::sender_graph_interference;
+use rim_core::DynamicInterference;
 use rim_topology_control::emst::euclidean_mst;
 use rim_udg::udg::unit_disk_graph;
+use rim_udg::Topology;
+
+fn mst_instance(n: usize) -> Topology {
+    let nodes = rim_workloads::uniform_square(n, (n as f64).sqrt() / 10.0, 3);
+    let udg = unit_disk_graph(&nodes);
+    euclidean_mst(&nodes, &udg)
+}
 
 fn main() {
-    let mut h = Harness::new("interference_vector");
-    for n in [500usize, 2_000] {
-        let nodes = rim_workloads::uniform_square(n, (n as f64).sqrt() / 10.0, 3);
-        let udg = unit_disk_graph(&nodes);
-        let t = euclidean_mst(&nodes, &udg);
-        h.bench(&format!("grid/{n}"), || interference_vector(&t));
-        h.bench(&format!("naive/{n}"), || interference_vector_naive(&t));
-        if n <= 500 {
+    let mut h = Harness::new("interference_kernel");
+    for n in [512usize, 2_048, 4_096, 8_192] {
+        let t = mst_instance(n);
+        if n <= 4_096 {
+            h.bench(&format!("naive/{n}"), || interference_vector_naive(&t));
+        }
+        h.bench(&format!("indexed/{n}"), || {
+            interference_vector_with(&t, Engine::Indexed)
+        });
+        h.bench(&format!("parallel/{n}"), || {
+            interference_vector_with(&t, Engine::Parallel)
+        });
+        if n == 512 {
             h.bench(&format!("sender/{n}"), || sender_graph_interference(&t));
         }
     }
+
+    // Single-edge update at n = 4096: toggling one MST edge through the
+    // incremental structure vs recomputing I(G') with the fastest batch
+    // kernel. Both closures answer the same question ("what is I(G')
+    // after this update?"); the batch path pays the full scatter.
+    let n = 4_096usize;
+    let t = mst_instance(n);
+    let (eu, ev) = t.edges()[t.num_edges() / 2].pair();
+    let mut d = DynamicInterference::from_topology(&t);
+    h.bench(&format!("incremental/edge-update/{n}"), || {
+        d.remove_edge(eu, ev);
+        d.insert_edge(eu, ev);
+        d.graph_interference()
+    });
+    h.bench(&format!("recompute/edge-update/{n}"), || {
+        rim_core::receiver::graph_interference_with(&t, Engine::Indexed)
+    });
     h.finish();
 }

@@ -3,7 +3,7 @@
 use crate::args::{Args, UsageError};
 use rim_core::analysis::InterferenceSummary;
 use rim_core::optimal::{min_interference_topology, SolverLimits};
-use rim_core::receiver::graph_interference;
+use rim_core::receiver::{graph_interference, Engine};
 use rim_core::sender::sender_graph_interference;
 use rim_highway::HighwayInstance;
 use rim_sim::{MacConfig, SimConfig, Simulator, TrafficConfig};
@@ -23,6 +23,7 @@ commands:
                    linear|a-exp|a-gen|a-apx|a-gen2
             --nodes FILE [--out FILE]
   analyze   --nodes FILE --topology FILE
+            [--engine naive|indexed|parallel|auto]   (interference kernel)
   optimal   --nodes FILE [--max-steps N]   (exact solver; n <= 12)
   simulate  --nodes FILE --topology FILE [--slots N] [--mac csma|aloha]
             [--flows N] [--period N] [--seed K]
@@ -138,10 +139,12 @@ pub fn control(args: &Args) -> Result<(), UsageError> {
 pub fn analyze(args: &Args) -> Result<(), UsageError> {
     let nodes = load_nodes(args)?;
     let topology = load_topology(args, &nodes)?;
+    let engine: Engine = args.opt_parse("engine", Engine::Auto)?;
     args.finish()?;
     let udg = unit_disk_graph(&nodes);
-    let summary = InterferenceSummary::of(&topology);
+    let summary = InterferenceSummary::with_engine(&topology, engine);
     println!("nodes:                    {}", nodes.len());
+    println!("interference engine:      {}", engine.name());
     println!("udg edges / max degree:   {} / {}", udg.num_edges(), udg.max_degree());
     println!("topology edges:           {}", topology.num_edges());
     println!("is forest:                {}", topology.is_forest());

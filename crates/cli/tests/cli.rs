@@ -69,6 +69,47 @@ fn generate_control_analyze_pipeline() {
     let text = String::from_utf8(out.stdout).unwrap();
     assert!(text.contains("receiver interference"));
     assert!(text.contains("preserves connectivity:   true"));
+    assert!(text.contains("interference engine:      auto"));
+
+    // Every explicit engine selection must report the same numbers.
+    let mut reports = Vec::new();
+    for engine in ["naive", "indexed", "parallel"] {
+        let out = rim()
+            .args(["analyze", "--engine", engine, "--nodes"])
+            .arg(&nodes)
+            .arg("--topology")
+            .arg(&topo)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "engine {engine}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(&format!("interference engine:      {engine}")));
+        let numbers: Vec<String> = text
+            .lines()
+            .filter(|l| l.starts_with("receiver interference") || l.starts_with("mean node"))
+            .map(String::from)
+            .collect();
+        reports.push(numbers);
+    }
+    assert!(reports.windows(2).all(|w| w[0] == w[1]), "engines disagree: {reports:?}");
+}
+
+#[test]
+fn analyze_rejects_unknown_engine() {
+    let dir = tmp_dir("bad_engine");
+    let nodes = dir.join("nodes.txt");
+    let topo = dir.join("topo.txt");
+    std::fs::write(&nodes, "0.0\n0.4\n").unwrap();
+    std::fs::write(&topo, "0 1\n").unwrap();
+    let out = rim()
+        .args(["analyze", "--engine", "warp", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
 }
 
 #[test]

@@ -1,6 +1,6 @@
 //! Interference summaries and sanity bounds for experiment reporting.
 
-use crate::receiver::interference_vector;
+use crate::receiver::{interference_vector, interference_vector_with, Engine};
 use rim_graph::AdjacencyList;
 use rim_udg::Topology;
 
@@ -18,9 +18,17 @@ pub struct InterferenceSummary {
 }
 
 impl InterferenceSummary {
-    /// Computes the summary for a topology.
+    /// Computes the summary for a topology with automatic engine
+    /// selection ([`Engine::Auto`]).
     pub fn of(t: &Topology) -> Self {
-        let per_node = interference_vector(t);
+        Self::with_engine(t, Engine::Auto)
+    }
+
+    /// Computes the summary through an explicitly chosen interference
+    /// [`Engine`] — the hook the CLI's `--engine` flag uses. All engines
+    /// produce identical summaries; see [`crate::receiver`].
+    pub fn with_engine(t: &Topology, engine: Engine) -> Self {
+        let per_node = interference_vector_with(t, engine);
         let max = per_node.iter().copied().max().unwrap_or(0);
         let mean = if per_node.is_empty() {
             0.0
@@ -78,6 +86,15 @@ mod tests {
         assert!((s.mean - s.per_node.iter().sum::<usize>() as f64 / 4.0).abs() < 1e-12);
         let am = s.argmax().unwrap();
         assert_eq!(s.per_node[am], s.max);
+    }
+
+    #[test]
+    fn all_engines_summarize_identically() {
+        let t = chain();
+        let auto = InterferenceSummary::of(&t);
+        for e in Engine::ALL {
+            assert_eq!(InterferenceSummary::with_engine(&t, e), auto, "{}", e.name());
+        }
     }
 
     #[test]

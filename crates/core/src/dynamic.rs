@@ -1,4 +1,4 @@
-//! Incrementally maintained interference under link insertions/removals.
+//! Incrementally maintained interference under link and node updates.
 //!
 //! Topology-control algorithms (and dynamic networks) repeatedly tweak an
 //! edge set and re-ask for `I(G')`. Recomputing from scratch is `O(n²)`
@@ -8,39 +8,72 @@
 //! * a node covers `v` iff it has at least one neighbor and
 //!   `|uv| <= r_u` — the same rule as the batch kernels;
 //! * an edge update changes at most the two endpoints' radii (and whether
-//!   they transmit at all), so only their coverage needs patching.
+//!   they transmit at all), so only the *symmetric difference of the old
+//!   and new disks* `D(u, r_old) Δ D(u, r_new)` needs patching. A spatial
+//!   index over the node positions turns that patch into one disk query
+//!   of radius `max(r_old, r_new)` — `O(affected)` for bounded densities
+//!   instead of `O(n)`;
+//! * [`DynamicInterference::insert_node`] appends a node and charges only
+//!   the transmitters whose disks reach it (found through the same
+//!   index), keeping arrivals `O(affected)` too;
+//! * `I(G') = max_v I(v)` is answered in `O(1)` from a frequency
+//!   histogram over the coverage counts, maintained at every ±1 change.
 //!
-//! Each update costs `O(n)` in the worst case (rescanning per endpoint) but
-//! touches only the affected nodes; the query is `O(1)` per node. The
-//! equivalence with the batch [`crate::receiver`] kernels is
-//! property-tested.
+//! The index is rebuilt lazily: newly inserted nodes accumulate in a
+//! small `pending` overlay that queries scan linearly, and once the
+//! overlay outgrows a fraction of the indexed set the index is rebuilt in
+//! one `O(n)` pass — classic amortization, no query ever misses a node.
+//! The equivalence with the batch [`crate::receiver`] kernels is
+//! property-tested, including full edit-trace replays.
 
+use rim_geom::{Point, SpatialIndex};
 use rim_graph::AdjacencyList;
 use rim_udg::{NodeSet, Topology};
 
-/// Interference counts maintained across edge updates.
+/// Interference counts maintained across edge and node updates.
 #[derive(Debug, Clone)]
 pub struct DynamicInterference {
-    nodes: NodeSet,
+    points: Vec<Point>,
     graph: AdjacencyList,
     radii: Vec<f64>,
     cov: Vec<u32>,
     /// Whether each node was transmitting (degree > 0) at the last
     /// coverage update — needed to patch coverage when a node's degree
     /// crosses zero without its radius changing (zero-length links).
-    graph_deg_snapshot: Vec<bool>,
+    was_transmitting: Vec<bool>,
+    /// Spatial index over `points[..indexed_len]`; nodes inserted since
+    /// the last rebuild live in the pending overlay `indexed_len..n`.
+    index: SpatialIndex,
+    indexed_len: usize,
+    /// `freq[c]` = number of nodes with coverage count `c`; `cur_max` is
+    /// the largest `c` with `freq[c] > 0` (0 when all counts are 0).
+    freq: Vec<u32>,
+    cur_max: usize,
+    /// Monotone upper bound on every current radius, used to bound the
+    /// candidate search of [`DynamicInterference::insert_node`]. Radius
+    /// shrinkage only loosens the bound (still correct, just a wider
+    /// query); it is re-tightened to the exact maximum at every index
+    /// rebuild.
+    radius_bound: f64,
 }
 
 impl DynamicInterference {
     /// Starts from the empty topology over `nodes`.
     pub fn new(nodes: NodeSet) -> Self {
         let n = nodes.len();
+        let points = nodes.points().to_vec();
+        let index = SpatialIndex::build(&points, initial_cell_hint(&points));
         DynamicInterference {
-            nodes,
+            points,
             graph: AdjacencyList::new(n),
             radii: vec![0.0; n],
             cov: vec![0; n],
-            graph_deg_snapshot: vec![false; n],
+            was_transmitting: vec![false; n],
+            index,
+            indexed_len: n,
+            freq: vec![n as u32],
+            cur_max: 0,
+            radius_bound: 0.0,
         }
     }
 
@@ -55,12 +88,12 @@ impl DynamicInterference {
 
     /// Number of nodes.
     pub fn len(&self) -> usize {
-        self.nodes.len()
+        self.points.len()
     }
 
     /// Returns `true` for the empty node set.
     pub fn is_empty(&self) -> bool {
-        self.nodes.is_empty()
+        self.points.is_empty()
     }
 
     /// Current interference of `v`.
@@ -68,9 +101,10 @@ impl DynamicInterference {
         self.cov[v] as usize
     }
 
-    /// Current graph interference `I(G')`.
+    /// Current graph interference `I(G')`, answered in `O(1)` from the
+    /// maintained coverage-count histogram.
     pub fn graph_interference(&self) -> usize {
-        self.cov.iter().copied().max().unwrap_or(0) as usize
+        self.cur_max
     }
 
     /// Current radius of `u`.
@@ -85,12 +119,14 @@ impl DynamicInterference {
 
     /// Materializes the current state as a [`Topology`].
     pub fn as_topology(&self) -> Topology {
-        Topology::from_graph(self.nodes.clone(), self.graph.clone())
+        Topology::from_graph(NodeSet::new(self.points.clone()), self.graph.clone())
     }
 
     /// Inserts `{u, v}`; returns `false` if the edge already existed.
+    /// Costs one disk query per endpoint whose radius (or transmit
+    /// status) changed — `O(affected)`.
     pub fn insert_edge(&mut self, u: usize, v: usize) -> bool {
-        let d = self.nodes.dist(u, v);
+        let d = self.points[u].dist(&self.points[v]);
         if !self.graph.add_edge(u, v, d) {
             return false;
         }
@@ -111,38 +147,155 @@ impl DynamicInterference {
         true
     }
 
-    /// Adjusts `u`'s radius and patches the coverage counts.
+    /// Appends a new isolated node at `p` and returns its index.
+    ///
+    /// The arrival is charged `O(affected)`: the new node starts with the
+    /// coverage it receives from existing transmitters (one pass over the
+    /// candidates within the current maximum radius, via the index) and,
+    /// being isolated, contributes nothing itself until an edge arrives.
+    /// The spatial index absorbs the node lazily — see the module docs.
+    pub fn insert_node(&mut self, p: Point) -> usize {
+        assert!(p.is_finite(), "node positions must be finite");
+        let v = self.graph.add_vertex();
+        self.points.push(p);
+        self.radii.push(0.0);
+        self.was_transmitting.push(false);
+        // Coverage received by the newcomer: every transmitter whose disk
+        // reaches p. Candidates are bounded by the maintained radius bound.
+        let r_max = self.radius_bound;
+        let mut covered_by = 0u32;
+        self.for_each_candidate(p, r_max, |u, d| {
+            if u != v && self.was_transmitting[u] && d <= self.radii[u] {
+                covered_by += 1;
+            }
+        });
+        self.cov.push(covered_by);
+        self.histogram_add(covered_by as usize);
+        self.maybe_rebuild_index();
+        v
+    }
+
+    /// Calls `f(u, dist(points[u], c))` for every node within distance
+    /// `r` of `c`: indexed nodes via one disk query, pending nodes via a
+    /// linear scan of the (small, amortized) overlay.
+    fn for_each_candidate<F: FnMut(usize, f64)>(&self, c: Point, r: f64, mut f: F) {
+        self.index
+            .for_each_in_disk(c, r, |u| f(u, self.points[u].dist(&c)));
+        for u in self.indexed_len..self.points.len() {
+            let d = self.points[u].dist(&c);
+            if d <= r {
+                f(u, d);
+            }
+        }
+    }
+
+    /// Rebuilds the spatial index once the pending overlay outgrows half
+    /// the indexed set (with a constant floor so small structures never
+    /// rebuild): `O(n)` per rebuild, amortized `O(1)` per insertion.
+    fn maybe_rebuild_index(&mut self) {
+        let pending = self.points.len() - self.indexed_len;
+        if pending > (self.indexed_len / 2).max(64) {
+            self.index = SpatialIndex::build(&self.points, initial_cell_hint(&self.points));
+            self.indexed_len = self.points.len();
+            // Re-tighten the radius bound to the exact maximum while we
+            // are paying O(n) anyway.
+            self.radius_bound = self
+                .radii
+                .iter()
+                .copied()
+                .max_by(f64::total_cmp)
+                .unwrap_or(0.0);
+        }
+    }
+
+    /// Moves one node's coverage count from `old` to `new` in the
+    /// histogram, keeping `cur_max` exact in amortized `O(1)`.
+    fn histogram_move(&mut self, old: usize, new: usize) {
+        self.freq[old] -= 1;
+        if new >= self.freq.len() {
+            self.freq.resize(new + 1, 0);
+        }
+        self.freq[new] += 1;
+        if new > self.cur_max {
+            self.cur_max = new;
+        } else if old == self.cur_max && self.freq[old] == 0 {
+            while self.cur_max > 0 && self.freq[self.cur_max] == 0 {
+                self.cur_max -= 1;
+            }
+        }
+    }
+
+    /// Registers a fresh node entering the histogram at count `c`.
+    fn histogram_add(&mut self, c: usize) {
+        if c >= self.freq.len() {
+            self.freq.resize(c + 1, 0);
+        }
+        self.freq[c] += 1;
+        if c > self.cur_max {
+            self.cur_max = c;
+        }
+    }
+
+    /// Adjusts `u`'s radius and patches the coverage counts over the
+    /// symmetric difference of the old and new disks.
     ///
     /// Coverage is `deg(u) > 0 && d <= r_u` (a node transmits iff it has a
     /// neighbor — matching the batch kernels, including the coincident-node
     /// case where a zero-length link gives `r_u = 0` but still covers its
-    /// endpoint). Comparing covered-before vs covered-after per node is
-    /// immune to boundary subtleties at `d = 0`.
+    /// endpoint). Both disks are contained in the disk of the larger
+    /// radius, so one index query of radius `max(old, new)` visits every
+    /// node whose membership can differ; comparing covered-before vs
+    /// covered-after per node is immune to boundary subtleties at `d = 0`.
     fn set_radius(&mut self, u: usize, new_r: f64) {
         let old_r = self.radii[u];
-        let was_tx = self.graph_deg_snapshot[u];
+        let was_tx = self.was_transmitting[u];
         let is_tx = self.graph.degree(u) > 0;
-        self.graph_deg_snapshot[u] = is_tx;
+        self.was_transmitting[u] = is_tx;
         // rim-lint: allow(float-eq) — exact no-op check: radii are dist() copies
         if new_r == old_r && was_tx == is_tx {
             return;
         }
         self.radii[u] = new_r;
-        let pu = self.nodes.pos(u);
-        for w in 0..self.nodes.len() {
+        self.radius_bound = self.radius_bound.max(new_r);
+        let pu = self.points[u];
+        let query_r = match (was_tx, is_tx) {
+            (true, true) => old_r.max(new_r),
+            (true, false) => old_r,
+            (false, true) => new_r,
+            (false, false) => return, // silent before and after: no disk at all
+        };
+        let mut deltas: Vec<(usize, usize, usize)> = Vec::new();
+        self.for_each_candidate(pu, query_r, |w, d| {
             if w == u {
-                continue;
+                return;
             }
-            let d = pu.dist(&self.nodes.pos(w));
             let before = was_tx && d <= old_r;
             let after = is_tx && d <= new_r;
-            match (before, after) {
-                (false, true) => self.cov[w] += 1,
-                (true, false) => self.cov[w] -= 1,
-                _ => {}
+            if before != after {
+                let old_c = self.cov[w] as usize;
+                let new_c = if after { old_c + 1 } else { old_c - 1 };
+                deltas.push((w, old_c, new_c));
             }
+        });
+        for (w, old_c, new_c) in deltas {
+            self.cov[w] = new_c as u32;
+            self.histogram_move(old_c, new_c);
         }
     }
+}
+
+/// Cell hint for the dynamic structure's index: the node-set diagonal
+/// scaled to roughly √n cells per axis. Radii are unknown at build time
+/// (edges come later), so a density-based hint is the best available;
+/// `SpatialIndex::build` sanitizes degenerate values.
+fn initial_cell_hint(points: &[Point]) -> f64 {
+    let bbox = rim_geom::Aabb::of_points(points);
+    if bbox.is_empty() {
+        return 1.0;
+    }
+    let diag = Point::new(bbox.width(), bbox.height()).norm();
+    let per_axis = (points.len() as f64).sqrt().max(1.0);
+    diag / per_axis
 }
 
 #[cfg(test)]
@@ -156,6 +309,11 @@ mod tests {
         let want = interference_vector(&t);
         let got: Vec<usize> = (0..d.len()).map(|v| d.interference_at(v)).collect();
         assert_eq!(got, want, "dynamic counts diverged from batch kernel");
+        assert_eq!(
+            d.graph_interference(),
+            want.iter().copied().max().unwrap_or(0),
+            "histogram max diverged"
+        );
     }
 
     #[test]
@@ -235,6 +393,42 @@ mod tests {
         assert!(d.remove_edge(0, 1)); // now silent again
         check_consistent(&d);
         assert_eq!(d.graph_interference(), 0);
+    }
+
+    #[test]
+    fn node_insertion_is_absorbed() {
+        let mut d = DynamicInterference::new(NodeSet::on_line(&[0.0, 0.3]));
+        d.insert_edge(0, 1);
+        // The new node lands inside both existing disks.
+        let v = d.insert_node(Point::on_line(0.15));
+        assert_eq!(v, 2);
+        assert_eq!(d.interference_at(v), 2);
+        check_consistent(&d);
+        // Link it up; radii of 2 and 0 change, counts follow.
+        d.insert_edge(2, 0);
+        check_consistent(&d);
+        // A far-away arrival sees nothing and changes nothing.
+        let w = d.insert_node(Point::on_line(100.0));
+        assert_eq!(d.interference_at(w), 0);
+        check_consistent(&d);
+    }
+
+    #[test]
+    fn many_insertions_cross_the_rebuild_threshold() {
+        // Push enough nodes through the pending overlay to force at least
+        // one index rebuild, checking consistency as we go.
+        let mut d = DynamicInterference::new(NodeSet::on_line(&[0.0, 0.01]));
+        d.insert_edge(0, 1);
+        for i in 0..150usize {
+            let v = d.insert_node(Point::new((i % 25) as f64 * 0.05, (i / 25) as f64 * 0.05));
+            if i % 3 == 0 {
+                d.insert_edge(v, i % 2);
+            }
+            if i % 40 == 0 {
+                check_consistent(&d);
+            }
+        }
+        check_consistent(&d);
     }
 
     #[test]

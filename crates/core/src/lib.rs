@@ -21,7 +21,9 @@
 //!
 //! Module map:
 //!
-//! * [`receiver`] — Definitions 3.1/3.2 (naive and grid-accelerated),
+//! * [`receiver`] — Definitions 3.1/3.2 (naive oracle plus indexed and
+//!   parallel engines behind [`receiver::Engine`]),
+//! * [`parallel`] — the scoped-thread range splitter the engines share,
 //! * [`sender`] — the link-coverage measure of \[2\] for comparison,
 //! * [`dynamic`] — incrementally maintained interference under link
 //!   insertions/removals,
@@ -46,6 +48,8 @@ pub mod dynamic;
 pub mod gathering;
 /// Exact minimum-interference connected topologies (branch and bound).
 pub mod optimal;
+/// Dependency-free data parallelism on `std::thread::scope`.
+pub mod parallel;
 /// The receiver-centric interference measure (Definitions 3.1 and 3.2).
 pub mod receiver;
 /// Robustness of the interference measure under node arrival/departure.
@@ -55,5 +59,9 @@ pub mod sender;
 
 pub use analysis::InterferenceSummary;
 pub use optimal::{min_interference_topology, OptimalResult, SolverLimits};
-pub use receiver::{graph_interference, interference_at, interference_vector};
+pub use dynamic::DynamicInterference;
+pub use receiver::{
+    graph_interference, graph_interference_with, interference_at, interference_vector,
+    interference_vector_naive, interference_vector_with, Engine,
+};
 pub use sender::{edge_coverage, sender_graph_interference};

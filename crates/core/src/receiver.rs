@@ -1,7 +1,97 @@
 //! The receiver-centric interference measure (Definitions 3.1 and 3.2).
+//!
+//! Three batch kernels compute the same counts:
+//!
+//! * [`interference_vector_naive`] — the `O(n²)` all-pairs reference.
+//!   This is the **permanent oracle**: it transcribes Definition 3.1
+//!   literally and every faster kernel is differential-tested against it.
+//! * [`Engine::Indexed`] — one closed-disk range query per transmitter
+//!   over a [`SpatialIndex`] (grid, or kd-tree for degenerate spreads).
+//! * [`Engine::Parallel`] — the indexed scatter split across scoped
+//!   threads with per-thread accumulators.
+//!
+//! All three evaluate the identical predicate `deg(u) > 0 && dist(u,v)
+//! <= r_u` at distance level, so they agree *exactly* — not
+//! approximately — on every input; [`Engine::Auto`] may therefore pick
+//! by size alone.
 
-use rim_geom::UniformGrid;
+use crate::parallel::{num_threads, par_map_ranges};
+use rim_geom::SpatialIndex;
 use rim_udg::Topology;
+
+/// Below this node count the all-pairs scan beats any index build.
+const AUTO_INDEXED_MIN: usize = 64;
+/// From this node count on, threads amortize their spawn cost.
+const AUTO_PARALLEL_MIN: usize = 8192;
+/// Target number of senders per parallel chunk.
+const PARALLEL_CHUNK: usize = 1024;
+
+/// Strategy selector for the batch interference kernels.
+///
+/// Every engine computes bit-identical results (a property-tested
+/// invariant); they differ only in running time. Parse one from a CLI
+/// string with [`str::parse`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// All-pairs `O(n²)` scan — the oracle every other engine must match.
+    Naive,
+    /// Spatial-index scatter: one disk query per transmitter.
+    Indexed,
+    /// Indexed scatter split across `std::thread::scope` workers.
+    Parallel,
+    /// Pick by instance size: naive below 64 nodes, indexed above,
+    /// parallel from 8192 nodes when more than one core is available.
+    #[default]
+    Auto,
+}
+
+impl Engine {
+    /// All selectable engines, in oracle-first order (useful for tests
+    /// and help text).
+    pub const ALL: [Engine; 4] = [Engine::Naive, Engine::Indexed, Engine::Parallel, Engine::Auto];
+
+    /// The CLI-facing name of this engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Naive => "naive",
+            Engine::Indexed => "indexed",
+            Engine::Parallel => "parallel",
+            Engine::Auto => "auto",
+        }
+    }
+
+    /// Resolves `Auto` to the concrete engine for an instance of `n` nodes.
+    fn resolve(self, n: usize) -> Engine {
+        match self {
+            Engine::Auto => {
+                if n < AUTO_INDEXED_MIN {
+                    Engine::Naive
+                } else if n >= AUTO_PARALLEL_MIN && num_threads() > 1 {
+                    Engine::Parallel
+                } else {
+                    Engine::Indexed
+                }
+            }
+            e => e,
+        }
+    }
+}
+
+impl std::str::FromStr for Engine {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Engine, String> {
+        match s {
+            "naive" => Ok(Engine::Naive),
+            "indexed" => Ok(Engine::Indexed),
+            "parallel" => Ok(Engine::Parallel),
+            "auto" => Ok(Engine::Auto),
+            other => Err(format!(
+                "unknown engine `{other}` (expected naive|indexed|parallel|auto)"
+            )),
+        }
+    }
+}
 
 /// Interference experienced by node `v` (Definition 3.1): the number of
 /// *other* nodes `u` whose disk `D(u, r_u)` covers `v`. Self-interference
@@ -49,45 +139,95 @@ pub fn interference_vector_naive(t: &Topology) -> Vec<usize> {
     out
 }
 
-/// Per-node interference, grid-accelerated.
-///
-/// For every sender `u` a disk range query of radius `r_u` collects the
-/// covered nodes; expected time `O(n + Σ_u I-contribution(u))` for bounded
-/// densities. Produces exactly the same counts as
-/// [`interference_vector_naive`]: the range query evaluates the same
-/// closed predicate at distance level (`dist(u,v) <= r_u`, never on
-/// squares — `r_u` is itself a `dist()` result, and squaring would
-/// break exact boundary ties) — a property-tested invariant.
-pub fn interference_vector(t: &Topology) -> Vec<usize> {
+/// Builds the spatial index the batch kernels scatter over: the median
+/// positive radius makes a good cell hint (it balances bucket population
+/// against buckets touched per query), and [`SpatialIndex::build`] falls
+/// back to a kd-tree when the spread defeats any uniform cell. Public so
+/// other layers computing coverage relations (e.g. the simulator's PHY
+/// tables) share the same heuristic.
+pub fn build_index(t: &Topology) -> SpatialIndex {
+    let mut radii: Vec<f64> = t.radii().iter().copied().filter(|&r| r > 0.0).collect();
+    let hint = if radii.is_empty() {
+        1.0 // edgeless: nobody transmits, any index shape works
+    } else {
+        radii.sort_unstable_by(f64::total_cmp);
+        radii[radii.len() / 2]
+    };
+    SpatialIndex::build(t.nodes().points(), hint)
+}
+
+/// Scatters sender `u`'s coverage contribution into `out` via `index`.
+#[inline]
+fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [usize]) {
+    if t.graph().degree(u) == 0 {
+        return; // isolated nodes transmit nothing
+    }
+    index.for_each_in_disk(t.nodes().pos(u), t.radius(u), |v| {
+        if v != u {
+            out[v] += 1;
+        }
+    });
+}
+
+/// Indexed kernel: one closed-disk range query per transmitter, expected
+/// `O(n + Σ_u I-contribution(u))` for bounded densities. The range query
+/// evaluates the same closed predicate at distance level (`dist(u,v) <=
+/// r_u`, never on squares — `r_u` is itself a `dist()` result, and
+/// squaring would break exact boundary ties), so the counts equal
+/// [`interference_vector_naive`]'s exactly.
+fn interference_vector_indexed(t: &Topology, index: &SpatialIndex) -> Vec<usize> {
+    let n = t.num_nodes();
+    let mut out = vec![0usize; n];
+    for u in 0..n {
+        scatter_sender(t, index, u, &mut out);
+    }
+    out
+}
+
+/// Parallel kernel: the sender range `0..n` is chunked across scoped
+/// threads, each scattering into a private accumulator; the accumulators
+/// are summed element-wise. Integer addition commutes, so the result is
+/// bit-identical to the indexed kernel regardless of thread count.
+fn interference_vector_parallel(t: &Topology, index: &SpatialIndex) -> Vec<usize> {
+    let n = t.num_nodes();
+    let chunks = (n / PARALLEL_CHUNK).clamp(1, num_threads());
+    if chunks == 1 {
+        return interference_vector_indexed(t, index);
+    }
+    let partials = par_map_ranges(n, chunks, |range| {
+        let mut local = vec![0usize; n];
+        for u in range {
+            scatter_sender(t, index, u, &mut local);
+        }
+        local
+    });
+    let mut out = vec![0usize; n];
+    for local in partials {
+        for (o, l) in out.iter_mut().zip(&local) {
+            *o += l;
+        }
+    }
+    out
+}
+
+/// Per-node interference via an explicitly chosen [`Engine`]:
+/// `out[v] = I(v)`. All engines agree exactly; see the module docs.
+pub fn interference_vector_with(t: &Topology, engine: Engine) -> Vec<usize> {
     let n = t.num_nodes();
     if n == 0 {
         return Vec::new();
     }
-    let nodes = t.nodes();
-    // Cell size: the median positive radius balances bucket population
-    // against the number of buckets a query touches; fall back to the
-    // bounding-box diagonal for edgeless topologies.
-    let mut radii: Vec<f64> = t.radii().iter().copied().filter(|&r| r > 0.0).collect();
-    let cell = if radii.is_empty() {
-        1.0
-    } else {
-        radii.sort_unstable_by(f64::total_cmp);
-        radii[radii.len() / 2].max(1e-9)
-    };
-    let grid = UniformGrid::build(nodes.points(), cell);
-    let mut out = vec![0usize; n];
-    for u in 0..n {
-        if t.graph().degree(u) == 0 {
-            continue;
-        }
-        let r = t.radius(u);
-        grid.for_each_in_disk(nodes.pos(u), r, |v| {
-            if v != u {
-                out[v] += 1;
-            }
-        });
+    match engine.resolve(n) {
+        Engine::Naive => interference_vector_naive(t),
+        Engine::Indexed => interference_vector_indexed(t, &build_index(t)),
+        Engine::Parallel | Engine::Auto => interference_vector_parallel(t, &build_index(t)),
     }
-    out
+}
+
+/// Per-node interference with automatic engine selection
+/// ([`Engine::Auto`]) — the default entry point of the workspace.
+pub fn interference_vector(t: &Topology) -> Vec<usize> {
+    interference_vector_with(t, Engine::Auto)
 }
 
 /// Graph interference `I(G')` (Definition 3.2): the maximum node
@@ -107,6 +247,11 @@ pub fn interference_vector(t: &Topology) -> Vec<usize> {
 /// ```
 pub fn graph_interference(t: &Topology) -> usize {
     interference_vector(t).into_iter().max().unwrap_or(0)
+}
+
+/// Graph interference `I(G')` via an explicitly chosen [`Engine`].
+pub fn graph_interference_with(t: &Topology, engine: Engine) -> usize {
+    interference_vector_with(t, engine).into_iter().max().unwrap_or(0)
 }
 
 #[cfg(test)]
@@ -223,5 +368,44 @@ mod tests {
         let pairs: Vec<(usize, usize)> = (1..20).map(|i| (i - 1, i)).collect();
         let t = Topology::from_pairs(ns, &pairs);
         assert_eq!(interference_vector(&t), interference_vector_naive(&t));
+    }
+
+    #[test]
+    fn every_engine_agrees_on_figure2() {
+        let (t, _, _) = figure2();
+        let oracle = interference_vector_naive(&t);
+        for e in Engine::ALL {
+            assert_eq!(interference_vector_with(&t, e), oracle, "engine {}", e.name());
+            assert_eq!(
+                graph_interference_with(&t, e),
+                oracle.iter().copied().max().unwrap_or(0),
+                "engine {}",
+                e.name()
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_splits_are_exercised_and_exact() {
+        // Enough nodes that the parallel kernel actually spawns threads
+        // (n / PARALLEL_CHUNK >= 2) on multi-core machines.
+        let n = 2 * super::PARALLEL_CHUNK;
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new((i % 64) as f64 * 0.1, (i / 64) as f64 * 0.1))
+            .collect();
+        let pairs: Vec<(usize, usize)> = (1..n).map(|i| (i - 1, i)).collect();
+        let t = Topology::from_pairs(NodeSet::new(pts), &pairs);
+        let oracle = interference_vector_naive(&t);
+        assert_eq!(interference_vector_with(&t, Engine::Parallel), oracle);
+        assert_eq!(interference_vector_with(&t, Engine::Indexed), oracle);
+    }
+
+    #[test]
+    fn engine_parses_from_cli_strings() {
+        for e in Engine::ALL {
+            assert_eq!(e.name().parse::<Engine>(), Ok(e));
+        }
+        assert!("grid".parse::<Engine>().is_err());
+        assert_eq!(Engine::default(), Engine::Auto);
     }
 }

@@ -19,10 +19,15 @@
 //! is twofold: coverage is charged at the *sender* side, and the measure
 //! can jump by `Θ(n)` when one node is added ([`crate::robustness`]).
 
+use rim_geom::SpatialIndex;
 use rim_udg::Topology;
 
 /// Coverage of the (hypothetical or actual) link `{u, v}`: how many nodes
 /// lie in `D(u, |uv|) ∪ D(v, |uv|)`, endpoints included.
+///
+/// This is the `O(n)` per-edge reference; [`coverage_vector`] batches the
+/// same computation over all edges through a spatial index and is tested
+/// to agree exactly.
 pub fn edge_coverage(t: &Topology, u: usize, v: usize) -> usize {
     assert!(u != v, "coverage of a self-loop");
     let nodes = t.nodes();
@@ -40,20 +45,63 @@ pub fn edge_coverage(t: &Topology, u: usize, v: usize) -> usize {
 }
 
 /// Sender-centric interference of a topology: the maximum link coverage,
-/// or 0 for edgeless topologies.
+/// or 0 for edgeless topologies. Computed through the batched
+/// [`coverage_vector`].
 pub fn sender_graph_interference(t: &Topology) -> usize {
-    t.edges()
-        .iter()
-        .map(|e| edge_coverage(t, e.u, e.v))
-        .max()
-        .unwrap_or(0)
+    coverage_vector(t).into_iter().max().unwrap_or(0)
 }
 
-/// Per-edge coverages, in the order of [`Topology::edges`].
+/// Per-edge coverages, in the order of [`Topology::edges`], batched over
+/// a spatial index.
+///
+/// This model's membership predicate compares *squared* distances against
+/// the squared link length (both sides raw `dist_sq` values — a
+/// consistent-power comparison). The index answers *distance-level*
+/// closed-disk queries, but those are a guaranteed superset of the
+/// squared predicate: correctly-rounded `sqrt` is monotone, so
+/// `dist_sq(w,u) <= d_sq` implies `dist(w,u) <= d` with `d =
+/// sqrt(d_sq)`. Each query therefore only *filters candidates*; the
+/// original squared predicate of [`edge_coverage`] decides membership,
+/// keeping the two bit-identical on every input (boundary ties
+/// included). Expected cost `O(n + Σ_e Cov(e))` instead of `O(n·m)`.
 pub fn coverage_vector(t: &Topology) -> Vec<usize> {
-    t.edges()
+    let edges = t.edges();
+    if edges.is_empty() {
+        return Vec::new();
+    }
+    let nodes = t.nodes();
+    // Cell hint: the median link length — the dominant query radius.
+    let mut lens: Vec<f64> = edges.iter().map(|e| e.weight).collect();
+    lens.sort_unstable_by(f64::total_cmp);
+    let hint = lens[lens.len() / 2];
+    let index = SpatialIndex::build(nodes.points(), hint);
+    // Stamp-based dedup of the two-disk union, reused across edges.
+    let mut stamp = vec![0u32; nodes.len()];
+    let mut version = 0u32;
+    edges
         .iter()
-        .map(|e| edge_coverage(t, e.u, e.v))
+        .map(|e| {
+            version += 1;
+            let pu = nodes.pos(e.u);
+            let pv = nodes.pos(e.v);
+            let d_sq = nodes.dist_sq(e.u, e.v);
+            let d = nodes.dist(e.u, e.v);
+            let mut count = 0usize;
+            for center in [pu, pv] {
+                index.for_each_in_disk(center, d, |w| {
+                    if stamp[w] == version {
+                        return; // already counted for this edge
+                    }
+                    let pw = nodes.pos(w);
+                    // The model's exact predicate, on squares.
+                    if pw.dist_sq(&pu) <= d_sq || pw.dist_sq(&pv) <= d_sq {
+                        stamp[w] = version;
+                        count += 1;
+                    }
+                });
+            }
+            count
+        })
         .collect()
 }
 
@@ -96,6 +144,42 @@ mod tests {
         let t = Topology::empty(NodeSet::on_line(&[0.0, 0.1]));
         assert_eq!(sender_graph_interference(&t), 0);
         assert!(coverage_vector(&t).is_empty());
+    }
+
+    #[test]
+    fn batched_coverage_matches_per_edge_oracle() {
+        // Pseudo-random clustered instance with duplicate coordinates —
+        // boundary ties at d = 0 and shared positions stress the stamp
+        // dedup and the candidate-filter superset argument.
+        let mut state = 99u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as f64 / (1u64 << 31) as f64
+        };
+        let mut pts = Vec::new();
+        for _ in 0..40 {
+            pts.push(rim_geom::Point::new(rnd() * 2.0, rnd() * 2.0));
+        }
+        pts.push(pts[3]); // exact duplicate
+        pts.push(pts[7]);
+        let n = pts.len();
+        let mut pairs = Vec::new();
+        for i in 0..n {
+            pairs.push((i, (i * 7 + 1) % n));
+        }
+        pairs.retain(|&(a, b)| a != b);
+        pairs.sort_unstable_by_key(|&(a, b)| (a.min(b), a.max(b)));
+        pairs.dedup_by_key(|&mut (a, b)| (a.min(b), a.max(b)));
+        let t = Topology::from_pairs(NodeSet::new(pts), &pairs);
+        let batched = coverage_vector(&t);
+        let edges = t.edges();
+        for (e, &c) in edges.iter().zip(&batched) {
+            assert_eq!(c, edge_coverage(&t, e.u, e.v), "edge {:?}", e.pair());
+        }
+        assert_eq!(
+            sender_graph_interference(&t),
+            batched.iter().copied().max().unwrap_or(0)
+        );
     }
 
     #[test]

@@ -37,16 +37,39 @@ pub struct UniformGrid {
 impl UniformGrid {
     /// Builds a grid over `points` with the given `cell` size.
     ///
-    /// `cell` must be positive and finite. A good choice is the dominant
-    /// query radius; queries with radius `r` touch `O((r/cell + 2)^2)`
-    /// buckets. The requested cell size is a *hint*: if it would create
-    /// more than `O(n)` buckets over the points' bounding box (think a
-    /// nanometer cell over a kilometer span — exponential node chains do
-    /// this), the cell is enlarged to keep memory linear in `n`; queries
-    /// stay correct, only their constant factor changes.
+    /// A good choice for `cell` is the dominant query radius; queries with
+    /// radius `r` touch `O((r/cell + 2)^2)` buckets. The requested cell
+    /// size is a *hint* in two ways:
+    ///
+    /// * A non-positive or non-finite `cell` (zero spread instances —
+    ///   all-coincident points, a single node — produce exactly these when
+    ///   callers derive the cell from pairwise distances) is replaced by
+    ///   the bounding-box diagonal, or `1.0` when that is also zero. The
+    ///   grid then degenerates to a handful of buckets, which is the right
+    ///   shape for such inputs anyway.
+    /// * If the hint would create more than `O(n)` buckets over the
+    ///   points' bounding box (think a nanometer cell over a kilometer
+    ///   span — exponential node chains do this), the cell is enlarged to
+    ///   keep memory linear in `n`.
+    ///
+    /// Queries stay correct under both adjustments, only their constant
+    /// factor changes.
     pub fn build(points: &[Point], cell: f64) -> Self {
-        assert!(cell > 0.0 && cell.is_finite(), "bad cell size {cell}");
         let bbox = Aabb::of_points(points);
+        let cell = if cell > 0.0 && cell.is_finite() {
+            cell
+        } else {
+            let diag = if bbox.is_empty() {
+                0.0
+            } else {
+                Point::new(bbox.width(), bbox.height()).norm()
+            };
+            if diag > 0.0 && diag.is_finite() {
+                diag
+            } else {
+                1.0
+            }
+        };
         let (origin, nx, ny, cell) = if bbox.is_empty() {
             (Point::ORIGIN, 1, 1, cell)
         } else {
@@ -126,10 +149,17 @@ impl UniformGrid {
     /// the boundary point inside — the exactness policy of this crate.
     pub fn for_each_in_disk<F: FnMut(usize)>(&self, c: Point, r: f64, mut f: F) {
         debug_assert!(r >= 0.0);
-        let x0 = ((c.x - r - self.origin.x) / self.cell).floor();
-        let x1 = ((c.x + r - self.origin.x) / self.cell).floor();
-        let y0 = ((c.y - r - self.origin.y) / self.cell).floor();
-        let y1 = ((c.y + r - self.origin.y) / self.cell).floor();
+        // One extra cell of margin on every side: `c.x + r` rounds to
+        // nearest and can land *below* the coordinate of a point at
+        // distance exactly `r` (e.g. 0.2 + 0.7 rounds down), which would
+        // silently drop a closed-disk boundary point from the scan. The
+        // rounding error is a few ulps — far below one cell — so a
+        // single-cell margin restores the superset guarantee; the exact
+        // distance predicate below still decides membership.
+        let x0 = ((c.x - r - self.origin.x) / self.cell).floor() - 1.0;
+        let x1 = ((c.x + r - self.origin.x) / self.cell).floor() + 1.0;
+        let y0 = ((c.y - r - self.origin.y) / self.cell).floor() - 1.0;
+        let y1 = ((c.y + r - self.origin.y) / self.cell).floor() + 1.0;
         let cx0 = x0.max(0.0) as usize;
         let cx1 = (x1.max(-1.0) as isize).min(self.nx as isize - 1);
         let cy0 = y0.max(0.0) as usize;
@@ -321,6 +351,84 @@ mod tests {
         got.sort_unstable();
         assert_eq!(got, brute_disk(&pts, Point::on_line(0.0), 0.5));
         assert_eq!(grid.nearest(pts[5], 5), Some(4));
+    }
+
+    #[test]
+    fn degenerate_cell_sizes_are_sanitized() {
+        // Cell hints of 0, negative, NaN and infinity arise naturally when
+        // callers derive the cell from pairwise distances on degenerate
+        // inputs (all-coincident points, a single node). All must build a
+        // working grid rather than panic.
+        let pts = [Point::new(1.0, 2.0), Point::new(4.0, 6.0)];
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let grid = UniformGrid::build(&pts, bad);
+            let mut got = grid.query_disk(Point::new(1.0, 2.0), 5.0);
+            got.sort_unstable();
+            assert_eq!(got, vec![0, 1], "cell={bad}");
+            assert_eq!(grid.nearest(Point::new(4.0, 6.0), 1), Some(0));
+        }
+    }
+
+    #[test]
+    fn all_coincident_points() {
+        // Zero spread: the bounding box is a single point, so any cell hint
+        // (including a degenerate one) must collapse to one bucket.
+        let pts = vec![Point::new(2.5, -1.5); 9];
+        for cell in [0.0, 1.0, f64::NAN] {
+            let grid = UniformGrid::build(&pts, cell);
+            assert_eq!(grid.len(), 9);
+            assert_eq!(
+                grid.query_disk(Point::new(2.5, -1.5), 0.0),
+                (0..9).collect::<Vec<_>>(),
+                "cell={cell}"
+            );
+            assert_eq!(grid.count_in_disk(Point::new(2.5, -1.5), 0.0), 9);
+            assert!(grid.query_disk(Point::ORIGIN, 1.0).is_empty());
+        }
+    }
+
+    #[test]
+    fn single_node() {
+        let pts = [Point::new(7.0, 7.0)];
+        for cell in [0.0, 0.5, f64::INFINITY] {
+            let grid = UniformGrid::build(&pts, cell);
+            assert_eq!(grid.query_disk(Point::new(7.0, 7.0), 0.0), vec![0]);
+            assert_eq!(grid.nearest(Point::new(7.0, 7.0), 0), None);
+        }
+    }
+
+    #[test]
+    fn boundary_point_survives_downward_rounding_of_cell_range() {
+        // Regression: with c.x = 0.2 and r = dist(0.2, 0.9) the sum
+        // `c.x + r` rounds *below* 0.9, and the unmargined cell range
+        // excluded the bucket holding the boundary point even though the
+        // closed-disk predicate includes it.
+        let pts = [
+            Point::on_line(0.0),
+            Point::on_line(0.2),
+            Point::on_line(0.5),
+            Point::on_line(0.9),
+        ];
+        let r = pts[1].dist(&pts[3]);
+        let grid = UniformGrid::build(&pts, 0.45);
+        assert_eq!(grid.query_disk(pts[1], r), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn closed_disk_boundary_semantics() {
+        // `for_each_in_disk` must use the *closed* distance-level predicate
+        // `dist(p, c) <= r`: a radius copied from a `Point::dist` result
+        // keeps the boundary point inside, bit for bit. This is the exact
+        // comparison `interference_at` uses, so the two must agree.
+        let a = Point::new(0.1, 0.2);
+        let b = Point::new(0.7, 0.9);
+        let r = a.dist(&b); // irrational; only bit-identical compare passes
+        let pts = [a, b];
+        let grid = UniformGrid::build(&pts, r / 3.0);
+        assert_eq!(grid.query_disk(a, r), vec![0, 1]);
+        // The open side: anything strictly below the distance excludes b.
+        let below = f64::from_bits(r.to_bits() - 1);
+        assert_eq!(grid.query_disk(a, below), vec![0]);
     }
 
     #[test]

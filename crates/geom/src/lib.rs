@@ -11,6 +11,7 @@
 //! * [`Aabb`] — axis-aligned bounding boxes,
 //! * [`UniformGrid`] — a bucket grid spatial index for range queries,
 //! * [`KdTree`] — a static 2-d tree for nearest-neighbor queries,
+//! * [`SpatialIndex`] — grid/kd-tree dispatch chosen from the data,
 //! * [`closest_pair`] — divide-and-conquer closest pair,
 //! * [`convex_hull`] — Andrew's monotone chain.
 //!
@@ -39,6 +40,7 @@ pub mod delaunay;
 pub mod disk;
 pub mod grid;
 pub mod hull;
+pub mod index;
 pub mod kdtree;
 pub mod point;
 
@@ -48,5 +50,6 @@ pub use delaunay::{delaunay, Delaunay};
 pub use disk::Disk;
 pub use grid::UniformGrid;
 pub use hull::convex_hull;
+pub use index::SpatialIndex;
 pub use kdtree::KdTree;
 pub use point::Point;

@@ -51,6 +51,17 @@ impl AdjacencyList {
         self.num_edges
     }
 
+    /// Appends a fresh isolated vertex and returns its index.
+    ///
+    /// Existing vertex indices are unaffected, so structures that maintain
+    /// per-vertex state alongside the graph (interference counters, radii)
+    /// can grow in lockstep.
+    pub fn add_vertex(&mut self) -> usize {
+        assert!(self.adj.len() < u32::MAX as usize, "too many vertices");
+        self.adj.push(Vec::new());
+        self.adj.len() - 1
+    }
+
     /// Inserts edge `{u, v}`; returns `false` if it already exists.
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> bool {
         assert!(u != v, "self-loop at {u}");
@@ -165,6 +176,19 @@ mod tests {
         assert_eq!(g.degree(1), 2);
         assert_eq!(g.max_degree(), 2);
         assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn add_vertex_grows_without_disturbing_edges() {
+        let mut g = AdjacencyList::new(2);
+        g.add_edge(0, 1, 1.5);
+        let v = g.add_vertex();
+        assert_eq!(v, 2);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.degree(2), 0);
+        assert!(g.has_edge(0, 1));
+        assert!(g.add_edge(2, 0, 0.5));
+        assert_eq!(g.neighbors(0).collect::<Vec<_>>(), vec![1, 2]);
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! PHY layer: precomputed coverage under the disk interference model.
 
+use rim_core::receiver::build_index;
 use rim_udg::Topology;
 
 /// Precomputed coverage relations of a topology.
@@ -17,23 +18,31 @@ pub struct Coverage {
 
 impl Coverage {
     /// Builds the coverage relation for a topology.
+    ///
+    /// One closed-disk query per transmitter over the shared interference
+    /// index (same predicate as the batch kernels, `|uv| <= r_u` at
+    /// distance level), so construction is output-sensitive instead of
+    /// `O(n²)`. Both adjacency lists come out in ascending order:
+    /// `coverers[v]` because senders are scattered in ascending `u`,
+    /// `covered[u]` by an explicit sort (index visit order is
+    /// backend-dependent).
     pub fn of(t: &Topology) -> Self {
         let n = t.num_nodes();
         let nodes = t.nodes();
+        let index = build_index(t);
         let mut coverers = vec![Vec::new(); n];
         let mut covered = vec![Vec::new(); n];
         for u in 0..n {
             if t.graph().degree(u) == 0 {
                 continue; // never transmits
             }
-            let r = t.radius(u);
-            let pu = nodes.pos(u);
-            for v in 0..n {
-                if v != u && pu.dist(&nodes.pos(v)) <= r {
+            index.for_each_in_disk(nodes.pos(u), t.radius(u), |v| {
+                if v != u {
                     coverers[v].push(u as u32);
                     covered[u].push(v as u32);
                 }
-            }
+            });
+            covered[u].sort_unstable();
         }
         Coverage { coverers, covered }
     }

@@ -2,25 +2,27 @@
 
 use crate::node_set::NodeSet;
 use rim_graph::AdjacencyList;
-use rim_geom::UniformGrid;
+use rim_geom::SpatialIndex;
 
 /// Builds the Unit Disk Graph of `nodes`: an edge `{u, v}` (weighted by
 /// Euclidean distance) for every pair with `|uv| <= max_range`.
 ///
 /// The paper normalizes the maximum transmission range to 1; pass
-/// `max_range = 1.0` for the standard UDG. Construction is
-/// grid-accelerated and runs in `O(n + m)` expected time for bounded
-/// densities.
+/// `max_range = 1.0` for the standard UDG. Construction scatters one
+/// closed-disk query per node over a [`SpatialIndex`] (grid, or kd-tree
+/// when the spread defeats a uniform cell — the same adaptive structure
+/// the interference engine uses) and runs in `O(n + m)` expected time
+/// for bounded densities.
 pub fn unit_disk_graph_with_range(nodes: &NodeSet, max_range: f64) -> AdjacencyList {
     assert!(max_range > 0.0 && max_range.is_finite());
     let mut g = AdjacencyList::new(nodes.len());
     if nodes.len() < 2 {
         return g;
     }
-    let grid = UniformGrid::build(nodes.points(), max_range);
+    let index = SpatialIndex::build(nodes.points(), max_range);
     for u in 0..nodes.len() {
         let pu = nodes.pos(u);
-        grid.for_each_in_disk(pu, max_range, |v| {
+        index.for_each_in_disk(pu, max_range, |v| {
             if v > u {
                 g.add_edge(u, v, nodes.dist(u, v));
             }

@@ -353,6 +353,76 @@ pub fn audit_member(member: &Member, workspace_crates: &BTreeSet<String>, out: &
     }
 }
 
+/// The function name of the permanent `O(n²)` interference oracle.
+/// Every fast kernel is differential-tested against it, so the tests
+/// must keep calling it — an optimization PR that silently rewires the
+/// suites onto a fast engine would make the differential layer vacuous.
+pub const NAIVE_ORACLE: &str = "interference_vector_naive";
+
+/// Workspace-level audit: if the naive interference oracle is *defined*
+/// in library sources, it must retain at least one caller in test scope
+/// (integration tests, benches, examples, or `#[cfg(test)]` modules).
+///
+/// The definition gate keeps the audit silent on workspaces that never
+/// had the oracle (e.g. the lint-test fixture); deleting the definition
+/// together with its callers instead trips `unused`/compile failures in
+/// the crates whose suites import it.
+pub fn audit_oracle_retained(members: &[Member], out: &mut Vec<Diagnostic>) {
+    // Definition site: `fn interference_vector_naive` in lib sources.
+    let mut def: Option<(String, u32)> = None;
+    for member in members {
+        for (path, tokens, _) in &member.lib_sources {
+            let code: Vec<&Token> = tokens
+                .iter()
+                .filter(|t| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+                .collect();
+            for w in code.windows(2) {
+                if w[0].text == "fn" && w[1].kind == Kind::Ident && w[1].text == NAIVE_ORACLE {
+                    def = Some((path.clone(), w[1].line));
+                }
+            }
+        }
+    }
+    let Some((def_file, def_line)) = def else { return };
+
+    // Callers in test scope: any identifier reference in tests/benches/
+    // examples files, or inside a `#[cfg(test)]` module of a lib source.
+    // (Identifier tokens never come from comments — the lexer classifies
+    // those separately — so doc mentions don't count as callers.)
+    let mut callers = 0usize;
+    for member in members {
+        for (_, tokens, _) in &member.test_sources {
+            callers += tokens
+                .iter()
+                .filter(|t| t.kind == Kind::Ident && t.text == NAIVE_ORACLE)
+                .count();
+        }
+        for (_, tokens, ranges) in &member.lib_sources {
+            callers += tokens
+                .iter()
+                .enumerate()
+                .filter(|(i, t)| {
+                    t.kind == Kind::Ident
+                        && t.text == NAIVE_ORACLE
+                        && ranges.iter().any(|&(s, e)| *i >= s && *i < e)
+                })
+                .count();
+        }
+    }
+    if callers == 0 {
+        out.push(Diagnostic {
+            rule: "naive-oracle-retained",
+            file: def_file,
+            line: def_line,
+            message: format!(
+                "`{NAIVE_ORACLE}` is defined but no test, bench, or example references \
+                 it; the differential-oracle suites must keep exercising the naive \
+                 reference kernel"
+            ),
+        });
+    }
+}
+
 /// Collects `.rs` files under `dir` (recursively), skipping build
 /// output, VCS metadata, and `fixtures` directories (lint-test inputs
 /// contain deliberate violations).
@@ -522,6 +592,70 @@ mod tests {
             &mut out,
         );
         assert!(!out.iter().any(|d| d.rule == "undeclared-dependency"));
+    }
+
+    fn member_with_sources(lib_src: &str, test_src: Option<&str>) -> Member {
+        let (tokens, ranges) = rules::prepare(lib_src);
+        let mut m = member_with("[package]\nname = \"demo\"\n", "");
+        m.lib_sources = vec![("src/lib.rs".to_string(), tokens, ranges)];
+        if let Some(t) = test_src {
+            let (tokens, ranges) = rules::prepare(t);
+            m.test_sources = vec![("tests/diff.rs".to_string(), tokens, ranges)];
+        }
+        m
+    }
+
+    #[test]
+    fn oracle_audit_is_silent_without_a_definition() {
+        // Fixture-style workspaces never define the oracle: no finding.
+        let member = member_with_sources("pub fn other() {}\n", None);
+        let mut out = Vec::new();
+        audit_oracle_retained(&[member], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn oracle_audit_fires_when_tests_stop_calling_it() {
+        let lib = "pub fn interference_vector_naive() {}\n";
+        let member = member_with_sources(lib, Some("fn t() { fast_kernel(); }\n"));
+        let mut out = Vec::new();
+        audit_oracle_retained(&[member], &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].rule, "naive-oracle-retained");
+        assert_eq!(out[0].file, "src/lib.rs");
+        assert_eq!(out[0].line, 1);
+    }
+
+    #[test]
+    fn oracle_audit_clears_on_integration_test_callers() {
+        let lib = "pub fn interference_vector_naive() {}\n";
+        let member =
+            member_with_sources(lib, Some("fn t() { interference_vector_naive(); }\n"));
+        let mut out = Vec::new();
+        audit_oracle_retained(&[member], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn oracle_audit_counts_cfg_test_modules_but_not_lib_calls() {
+        // A call from ordinary library code is not a test caller…
+        let lib_only =
+            "pub fn interference_vector_naive() {}\npub fn f() { interference_vector_naive(); }\n";
+        let mut out = Vec::new();
+        audit_oracle_retained(&[member_with_sources(lib_only, None)], &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        // …but a call from a #[cfg(test)] module is.
+        let with_mod = "pub fn interference_vector_naive() {}\n#[cfg(test)]\nmod tests {\n\
+                        fn t() { super::interference_vector_naive(); }\n}\n";
+        out.clear();
+        audit_oracle_retained(&[member_with_sources(with_mod, None)], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+        // Doc-comment mentions alone never count as callers.
+        let doc_only =
+            "/// see interference_vector_naive\npub fn interference_vector_naive() {}\n";
+        out.clear();
+        audit_oracle_retained(&[member_with_sources(doc_only, None)], &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
     }
 
     #[test]

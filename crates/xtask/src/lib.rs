@@ -10,8 +10,10 @@
 //!   `// rim-lint: allow-file(<rule>)` (whole file).
 //! * **Workspace audits** ([`audit`]): declared-but-unused and
 //!   used-but-undeclared dependencies per crate, an (empty) external
-//!   dependency allowlist keeping the build hermetic, and
-//!   `[[bench]]` ↔ `benches/*.rs` consistency.
+//!   dependency allowlist keeping the build hermetic,
+//!   `[[bench]]` ↔ `benches/*.rs` consistency, and the
+//!   `naive-oracle-retained` audit (the `O(n²)` interference reference
+//!   kernel must keep test callers — see [`audit::audit_oracle_retained`]).
 //!
 //! The workspace gates itself on a clean run: an integration test
 //! asserts `run_lint(workspace_root)` returns zero diagnostics, so
@@ -165,6 +167,7 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
         }
         audit::audit_member(member, &workspace_crates, &mut out);
     }
+    audit::audit_oracle_retained(&members, &mut out);
     out.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });

@@ -57,8 +57,12 @@ pub use rim_workloads as workloads;
 /// The most common imports, bundled.
 pub mod prelude {
     pub use rim_core::analysis::InterferenceSummary;
+    pub use rim_core::dynamic::DynamicInterference;
     pub use rim_core::optimal::{min_interference_topology, SolverLimits};
-    pub use rim_core::receiver::{graph_interference, interference_at, interference_vector};
+    pub use rim_core::receiver::{
+        graph_interference, graph_interference_with, interference_at, interference_vector,
+        interference_vector_naive, interference_vector_with, Engine,
+    };
     pub use rim_core::sender::sender_graph_interference;
     pub use rim_geom::Point;
     pub use rim_highway::{a_apx, a_exp, a_gen, exponential_chain, gamma, HighwayInstance};

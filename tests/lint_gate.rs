@@ -1,8 +1,11 @@
 //! Tier-1 lint gate: `cargo test -q` from the workspace root fails if
 //! `cargo run -p rim-xtask -- lint` would report anything. This is the
 //! enforcement point for the project's numeric discipline (no exact
-//! float equality, distance-level comparisons) and hermeticity (no
-//! external dependencies, ever).
+//! float equality, distance-level comparisons), hermeticity (no
+//! external dependencies, ever), and the differential-testing policy:
+//! the `naive-oracle-retained` audit fails the gate if the `O(n²)`
+//! reference kernel `interference_vector_naive` ever loses its test
+//! callers.
 
 use std::path::Path;
 
