@@ -1,64 +1,14 @@
-//! A small parallel sweep runner.
+//! A small parallel sweep runner — re-exported from the shared
+//! [`rim_par`] executor.
 //!
 //! Experiment sweeps are embarrassingly parallel over their parameter
-//! points; this fans them out over scoped threads (no unbounded thread
-//! creation: at most one thread per logical CPU) and returns results in
-//! input order.
+//! points. The Mutex-queue worker pool that used to live here was
+//! replaced by [`rim_par::parallel_map`]: the same order-preserving,
+//! dynamically self-scheduled map (at most one thread per logical CPU),
+//! now shared with the interference kernels and the topology pipeline
+//! instead of duplicated per crate.
 
-use std::sync::Mutex;
-
-/// Applies `f` to every item of `params` in parallel, preserving order.
-///
-/// `f` must be `Sync` (it is shared across threads) and the items are
-/// consumed by value. Panics in workers propagate.
-pub fn parallel_map<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
-where
-    P: Send,
-    R: Send,
-    F: Fn(P) -> R + Sync,
-{
-    let n = params.len();
-    if n == 0 {
-        return Vec::new();
-    }
-    let threads = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(n);
-    if threads <= 1 {
-        return params.into_iter().map(f).collect();
-    }
-
-    // Poisoned locks only arise after a worker panic, which the scope
-    // below re-raises anyway — so recover the inner value and continue.
-    fn relock<T>(r: std::sync::LockResult<T>) -> T {
-        r.unwrap_or_else(std::sync::PoisonError::into_inner)
-    }
-    let work: Mutex<std::vec::IntoIter<(usize, P)>> =
-        Mutex::new(params.into_iter().enumerate().collect::<Vec<_>>().into_iter());
-    let results: Mutex<Vec<Option<R>>> = Mutex::new((0..n).map(|_| None).collect());
-
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let item = relock(work.lock()).next();
-                match item {
-                    Some((i, p)) => {
-                        let r = f(p);
-                        relock(results.lock())[i] = Some(r);
-                    }
-                    None => break,
-                }
-            });
-        }
-    });
-
-    relock(results.into_inner())
-        .into_iter()
-        // rim-lint: allow(no-unwrap-in-lib) — every index is written exactly once
-        .map(|r| r.expect("worker failed to produce a result"))
-        .collect()
-}
+pub use rim_par::parallel_map;
 
 #[cfg(test)]
 mod tests {

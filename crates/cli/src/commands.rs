@@ -22,6 +22,8 @@ commands:
   control   --algo nnf|mst|gg|rng|yao6|xtc|life|lmst|cbtc|kneigh9|rdg|
                    linear|a-exp|a-gen|a-apx|a-gen2
             --nodes FILE [--out FILE]
+            [--engine naive|indexed|parallel|auto]   (construction pipeline)
+            [--timing true]   (per-stage wall times on stderr)
   analyze   --nodes FILE --topology FILE
             [--engine naive|indexed|parallel|auto]   (interference kernel)
   optimal   --nodes FILE [--max-steps N]   (exact solver; n <= 12)
@@ -92,8 +94,14 @@ pub fn generate(args: &Args) -> Result<(), UsageError> {
 /// `rim control` — run a topology-control algorithm.
 pub fn control(args: &Args) -> Result<(), UsageError> {
     let algo = args.required("algo")?;
+    let engine: Engine = args.opt_parse("engine", Engine::Auto)?;
+    let timing: bool = args.opt_parse("timing", false)?;
+    let t0 = std::time::Instant::now();
     let nodes = load_nodes(args)?;
+    let t_load = t0.elapsed();
+    let t1 = std::time::Instant::now();
     let udg = unit_disk_graph(&nodes);
+    let t_udg = t1.elapsed();
     let highway = || -> Result<HighwayInstance, UsageError> {
         if !nodes.is_highway() {
             return Err(UsageError(format!(
@@ -104,18 +112,19 @@ pub fn control(args: &Args) -> Result<(), UsageError> {
             nodes.points().iter().map(|p| p.x).collect(),
         ))
     };
+    let t2 = std::time::Instant::now();
     let topology = match algo.as_str() {
-        "nnf" => Baseline::Nnf.build(&nodes, &udg),
-        "mst" => Baseline::Emst.build(&nodes, &udg),
-        "gg" => Baseline::Gabriel.build(&nodes, &udg),
-        "rng" => Baseline::Rng.build(&nodes, &udg),
-        "yao6" => Baseline::Yao6.build(&nodes, &udg),
-        "xtc" => Baseline::Xtc.build(&nodes, &udg),
-        "life" => Baseline::Life.build(&nodes, &udg),
-        "lmst" => Baseline::Lmst.build(&nodes, &udg),
-        "cbtc" => Baseline::Cbtc.build(&nodes, &udg),
-        "kneigh9" => Baseline::Kneigh9.build(&nodes, &udg),
-        "rdg" => Baseline::Rdg.build(&nodes, &udg),
+        "nnf" => Baseline::Nnf.build_with(&nodes, &udg, engine),
+        "mst" => Baseline::Emst.build_with(&nodes, &udg, engine),
+        "gg" => Baseline::Gabriel.build_with(&nodes, &udg, engine),
+        "rng" => Baseline::Rng.build_with(&nodes, &udg, engine),
+        "yao6" => Baseline::Yao6.build_with(&nodes, &udg, engine),
+        "xtc" => Baseline::Xtc.build_with(&nodes, &udg, engine),
+        "life" => Baseline::Life.build_with(&nodes, &udg, engine),
+        "lmst" => Baseline::Lmst.build_with(&nodes, &udg, engine),
+        "cbtc" => Baseline::Cbtc.build_with(&nodes, &udg, engine),
+        "kneigh9" => Baseline::Kneigh9.build_with(&nodes, &udg, engine),
+        "rdg" => Baseline::Rdg.build_with(&nodes, &udg, engine),
         "linear" => highway()?.linear_topology(),
         "a-exp" => rim_highway::a_exp(&highway()?).topology,
         "a-gen" => rim_highway::a_gen(&highway()?).topology,
@@ -123,6 +132,7 @@ pub fn control(args: &Args) -> Result<(), UsageError> {
         "a-gen2" => rim_highway::plane::a_gen_2d(&nodes).topology,
         other => return Err(UsageError(format!("unknown --algo {other}"))),
     };
+    let t_construct = t2.elapsed();
     let out = args.opt("out", "-");
     args.finish()?;
     // Note on the generated file whether the mandatory requirement holds.
@@ -132,7 +142,23 @@ pub fn control(args: &Args) -> Result<(), UsageError> {
         topology.num_edges(),
         topology.preserves_connectivity_of(&udg)
     ));
-    write_out(&out, &content)
+    let t3 = std::time::Instant::now();
+    let result = write_out(&out, &content);
+    let t_write = t3.elapsed();
+    if timing {
+        // Stage timings go to stderr so `--out -` topology output stays
+        // machine-readable on stdout.
+        eprintln!(
+            "timing: engine = {}, load = {:.3} ms, udg = {:.3} ms, construct = {:.3} ms, \
+             write = {:.3} ms",
+            engine.name(),
+            t_load.as_secs_f64() * 1e3,
+            t_udg.as_secs_f64() * 1e3,
+            t_construct.as_secs_f64() * 1e3,
+            t_write.as_secs_f64() * 1e3,
+        );
+    }
+    result
 }
 
 /// `rim analyze` — interference report for a topology.

@@ -95,6 +95,78 @@ fn generate_control_analyze_pipeline() {
 }
 
 #[test]
+fn control_engines_agree_byte_for_byte() {
+    let dir = tmp_dir("control_engines");
+    let nodes = dir.join("nodes.txt");
+    assert!(rim()
+        .args(["generate", "--kind", "uniform-square", "--n", "120", "--side", "2.0", "--seed",
+               "11", "--out"])
+        .arg(&nodes)
+        .status()
+        .unwrap()
+        .success());
+    for algo in ["gg", "rng", "lmst", "xtc", "yao6"] {
+        let mut outputs = Vec::new();
+        for engine in ["naive", "indexed", "parallel", "auto"] {
+            let out_file = dir.join(format!("{algo}_{engine}.txt"));
+            let out = rim()
+                .args(["control", "--algo", algo, "--engine", engine, "--nodes"])
+                .arg(&nodes)
+                .arg("--out")
+                .arg(&out_file)
+                .output()
+                .unwrap();
+            assert!(
+                out.status.success(),
+                "algo {algo} engine {engine}: {}",
+                String::from_utf8_lossy(&out.stderr)
+            );
+            outputs.push(std::fs::read_to_string(&out_file).unwrap());
+        }
+        assert!(
+            outputs.windows(2).all(|w| w[0] == w[1]),
+            "algo {algo}: engines produced different topology files"
+        );
+    }
+}
+
+#[test]
+fn control_timing_reports_stages_on_stderr() {
+    let dir = tmp_dir("control_timing");
+    let nodes = dir.join("nodes.txt");
+    std::fs::write(&nodes, "0.0\n0.4\n0.8\n1.2\n").unwrap();
+    let out = rim()
+        .args(["control", "--algo", "gg", "--timing", "true", "--nodes"])
+        .arg(&nodes)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    for stage in ["load", "udg", "construct", "write"] {
+        assert!(err.contains(stage), "timing line missing `{stage}`: {err}");
+    }
+    // Topology output on stdout stays machine-readable: index pairs and
+    // `#` comments only, no timing text.
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(!stdout.contains("timing"), "{stdout}");
+    assert!(stdout.lines().all(|l| l.starts_with('#') || l.split_whitespace().count() == 2));
+}
+
+#[test]
+fn control_rejects_unknown_engine() {
+    let dir = tmp_dir("control_bad_engine");
+    let nodes = dir.join("nodes.txt");
+    std::fs::write(&nodes, "0.0\n0.4\n").unwrap();
+    let out = rim()
+        .args(["control", "--algo", "gg", "--engine", "warp", "--nodes"])
+        .arg(&nodes)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown engine"));
+}
+
+#[test]
 fn analyze_rejects_unknown_engine() {
     let dir = tmp_dir("bad_engine");
     let nodes = dir.join("nodes.txt");

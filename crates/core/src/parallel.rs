@@ -1,104 +1,21 @@
-//! Dependency-free data parallelism on `std::thread::scope`.
+//! Data parallelism — re-exported from the shared [`rim_par`] executor.
 //!
-//! The workspace is hermetic — no rayon — so the batch interference
-//! kernels split their index ranges by hand. [`par_map_ranges`] is the
-//! `par_chunks`-style splitter they share: it carves `0..n` into
-//! contiguous ranges, runs one scoped thread per range, and returns the
-//! per-range results in order. Scoped threads let the closure borrow the
-//! topology and spatial index by reference, so parallelism adds no
-//! copies.
+//! The chunked scoped-thread scatter executor originally lived here;
+//! once the topology-construction pipeline and the bench sweeps needed
+//! the same primitives it was hoisted into the `rim-par` crate. This
+//! module stays as the long-standing `rim_core::parallel::…` path so the
+//! interference kernels (and external callers) keep compiling unchanged.
 
-use std::ops::Range;
-
-/// Number of worker threads worth spawning on this machine; at least 1.
-///
-/// `std::thread::available_parallelism` fails only in exotic sandboxes,
-/// where falling back to sequential execution is the right behaviour.
-pub fn num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(usize::from)
-        .unwrap_or(1)
-}
-
-/// Splits `0..n` into `chunks` contiguous ranges (the first `n % chunks`
-/// ranges are one element longer) and runs `work` on each range in its
-/// own scoped thread, returning results in range order.
-///
-/// With `chunks <= 1` (or `n == 0`) the work runs inline on the calling
-/// thread — the sequential path stays allocation- and thread-free. A
-/// panic in any worker is resumed on the caller, as a plain sequential
-/// loop would.
-pub fn par_map_ranges<R, F>(n: usize, chunks: usize, work: F) -> Vec<R>
-where
-    R: Send,
-    F: Fn(Range<usize>) -> R + Sync,
-{
-    let chunks = chunks.clamp(1, n.max(1));
-    if chunks == 1 {
-        return vec![work(0..n)];
-    }
-    let base = n / chunks;
-    let extra = n % chunks;
-    let bounds: Vec<Range<usize>> = (0..chunks)
-        .scan(0usize, |lo, i| {
-            let len = base + usize::from(i < extra);
-            let r = *lo..*lo + len;
-            *lo += len;
-            Some(r)
-        })
-        .collect();
-    let workref = &work;
-    std::thread::scope(|s| {
-        let handles: Vec<_> = bounds
-            .into_iter()
-            .map(|r| s.spawn(move || workref(r)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
-            })
-            .collect()
-    })
-}
+pub use rim_par::{num_threads, par_map_ranges};
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn covers_the_range_exactly_once() {
-        for n in [0usize, 1, 7, 64, 1000] {
-            for chunks in [1usize, 2, 3, 8, 200] {
-                let ranges = par_map_ranges(n, chunks, |r| r);
-                let mut seen = vec![false; n];
-                for r in ranges {
-                    for i in r {
-                        assert!(!seen[i], "n={n} chunks={chunks} i={i} visited twice");
-                        seen[i] = true;
-                    }
-                }
-                assert!(seen.iter().all(|&s| s), "n={n} chunks={chunks}");
-            }
-        }
-    }
-
-    #[test]
-    fn results_arrive_in_range_order() {
+    fn reexported_executor_works() {
         let sums = par_map_ranges(100, 4, |r| r.sum::<usize>());
         assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
-        assert_eq!(sums, vec![300, 925, 1550, 2175]);
-    }
-
-    #[test]
-    fn sequential_fallback_matches() {
-        let seq = par_map_ranges(10, 1, |r| r.collect::<Vec<_>>());
-        assert_eq!(seq, vec![(0..10).collect::<Vec<_>>()]);
-    }
-
-    #[test]
-    fn num_threads_is_positive() {
         assert!(num_threads() >= 1);
     }
 }

@@ -1,0 +1,208 @@
+//! `rim-par` — the workspace's shared data-parallel executor.
+//!
+//! The workspace is hermetic — no rayon — so every layer that fans work
+//! out over threads shares the two primitives in this crate instead of
+//! growing its own pool:
+//!
+//! * [`par_map_ranges`] — the chunked scoped-thread *scatter executor*:
+//!   it carves `0..n` into contiguous ranges, runs one scoped thread per
+//!   range, and returns the per-range results in order. The interference
+//!   kernels (`rim_core::receiver`) and the topology-construction
+//!   pipeline (`rim_topology_control`) both scatter over it; scoped
+//!   threads let closures borrow topologies and spatial indices by
+//!   reference, so parallelism adds no copies.
+//! * [`parallel_map`] — an order-preserving map over heterogeneous work
+//!   items with *dynamic* self-scheduling: workers claim items off an
+//!   atomic cursor, so a slow item (a long simulation, a big sweep
+//!   point) never idles the other workers the way a static split would.
+//!   This replaces the Mutex-queue worker pool `rim_bench::sweep` used
+//!   to carry; the only locks left are uncontended per-slot ones.
+//!
+//! Determinism contract: both primitives return results in input order,
+//! and neither changes *what* is computed — only where. Callers that
+//! need bit-identical output across thread counts (the topology
+//! pipeline's invariance tests) get it for free as long as their
+//! per-item closures are pure.
+
+#![forbid(unsafe_code)]
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads worth spawning on this machine; at least 1.
+///
+/// `std::thread::available_parallelism` fails only in exotic sandboxes,
+/// where falling back to sequential execution is the right behaviour.
+pub fn num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Splits `0..n` into `chunks` contiguous ranges (the first `n % chunks`
+/// ranges are one element longer) and runs `work` on each range in its
+/// own scoped thread, returning results in range order.
+///
+/// With `chunks <= 1` (or `n == 0`) the work runs inline on the calling
+/// thread — the sequential path stays allocation- and thread-free. A
+/// panic in any worker is resumed on the caller, as a plain sequential
+/// loop would.
+pub fn par_map_ranges<R, F>(n: usize, chunks: usize, work: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(Range<usize>) -> R + Sync,
+{
+    let chunks = chunks.clamp(1, n.max(1));
+    if chunks == 1 {
+        return vec![work(0..n)];
+    }
+    let base = n / chunks;
+    let extra = n % chunks;
+    let bounds: Vec<Range<usize>> = (0..chunks)
+        .scan(0usize, |lo, i| {
+            let len = base + usize::from(i < extra);
+            let r = *lo..*lo + len;
+            *lo += len;
+            Some(r)
+        })
+        .collect();
+    let workref = &work;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = bounds
+            .into_iter()
+            .map(|r| s.spawn(move || workref(r)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|payload| std::panic::resume_unwind(payload))
+            })
+            .collect()
+    })
+}
+
+/// Recovers a lock even when a sibling worker panicked: the enclosing
+/// scope re-raises the panic anyway, so the inner value is safe to use.
+fn relock<T>(r: std::sync::LockResult<T>) -> T {
+    r.unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Applies `f` to every item of `params` in parallel, preserving order.
+///
+/// Work is self-scheduled: each worker claims the next unclaimed index
+/// off an atomic cursor, so heterogeneous item costs balance themselves
+/// (no static split, no central queue lock — input and output slots each
+/// sit behind their own uncontended `Mutex`). `f` must be `Sync` (it is
+/// shared across threads) and items are consumed by value. Panics in
+/// workers propagate to the caller.
+pub fn parallel_map<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
+where
+    P: Send,
+    R: Send,
+    F: Fn(P) -> R + Sync,
+{
+    let n = params.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return params.into_iter().map(f).collect();
+    }
+    let input: Vec<Mutex<Option<P>>> = params.into_iter().map(|p| Mutex::new(Some(p))).collect();
+    let output: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = relock(input[i].lock()).take();
+                if let Some(p) = item {
+                    let r = f(p);
+                    *relock(output[i].lock()) = Some(r);
+                }
+            });
+        }
+    });
+    output
+        .into_iter()
+        // Each index is claimed and written exactly once; a missing slot
+        // means a worker panicked, which the scope above already
+        // re-raised. rim-lint: allow(no-unwrap-in-lib)
+        .map(|m| relock(m.into_inner()).expect("worker failed to produce a result"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_the_range_exactly_once() {
+        for n in [0usize, 1, 7, 64, 1000] {
+            for chunks in [1usize, 2, 3, 8, 200] {
+                let ranges = par_map_ranges(n, chunks, |r| r);
+                let mut seen = vec![false; n];
+                for r in ranges {
+                    for i in r {
+                        assert!(!seen[i], "n={n} chunks={chunks} i={i} visited twice");
+                        seen[i] = true;
+                    }
+                }
+                assert!(seen.iter().all(|&s| s), "n={n} chunks={chunks}");
+            }
+        }
+    }
+
+    #[test]
+    fn results_arrive_in_range_order() {
+        let sums = par_map_ranges(100, 4, |r| r.sum::<usize>());
+        assert_eq!(sums.iter().sum::<usize>(), (0..100).sum::<usize>());
+        assert_eq!(sums, vec![300, 925, 1550, 2175]);
+    }
+
+    #[test]
+    fn sequential_fallback_matches() {
+        let seq = par_map_ranges(10, 1, |r| r.collect::<Vec<_>>());
+        assert_eq!(seq, vec![(0..10).collect::<Vec<_>>()]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(num_threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_order() {
+        let out = parallel_map((0..100).collect(), |i: i32| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_empty_input() {
+        let out: Vec<i32> = parallel_map(Vec::<i32>::new(), |i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn map_single_item() {
+        assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn map_balances_heterogeneous_work() {
+        // One huge item among many tiny ones: self-scheduling must still
+        // return every result, in order.
+        let out = parallel_map((1..=64u64).collect(), |n| {
+            let reps = if n == 1 { 100_000 } else { 10 };
+            (0..reps).map(|i| i % n).sum::<u64>()
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], (0..10).map(|i| i % 2).sum::<u64>());
+    }
+}

@@ -5,30 +5,87 @@
 //! geographic routing (GPSR et al.). It is connected on each UDG
 //! component (it contains the MST) and contains the Nearest Neighbor
 //! Forest.
+//!
+//! Two witness predicates compute the same answer: the brute-force
+//! [`is_gabriel_edge_naive`] scans all `n` nodes (the **permanent
+//! oracle** the differential suites test against), while
+//! [`is_gabriel_edge`] queries a [`SpatialIndex`] for the closed disk of
+//! radius `|uv|` around `u` — any witness `w` has `|uw|² + |wv|² <=
+//! |uv|²`, hence `|uw| <= |uv|` even after rounding, so the query never
+//! misses one — and re-evaluates the exact predicate on the candidates.
 
+use crate::pipeline::{self, witness_index};
+use rim_core::receiver::Engine;
+use rim_geom::SpatialIndex;
 use rim_graph::AdjacencyList;
 use rim_udg::{NodeSet, Topology};
 
 /// Returns `true` if the UDG edge `{u, v}` is a Gabriel edge: no other
 /// node `w` satisfies `|uw|² + |wv|² <= |uv|²` (closed-disk convention:
 /// a node *on* the diameter circle blocks the edge; deterministic and
-/// conservative).
-pub fn is_gabriel_edge(nodes: &NodeSet, u: usize, v: usize) -> bool {
+/// conservative). Brute-force `O(n)` scan — the retained witness oracle.
+pub fn is_gabriel_edge_naive(nodes: &NodeSet, u: usize, v: usize) -> bool {
     let d_uv = nodes.dist_sq(u, v);
     (0..nodes.len()).all(|w| {
         w == u || w == v || nodes.dist_sq(u, w) + nodes.dist_sq(w, v) > d_uv
     })
 }
 
-/// Builds the Gabriel graph restricted to UDG edges.
-pub fn gabriel_graph(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
-    let mut g = AdjacencyList::new(nodes.len());
-    for e in udg.edges() {
-        if is_gabriel_edge(nodes, e.u, e.v) {
-            g.add_edge(e.u, e.v, e.weight);
+/// Index-backed witness test, exactly equal to
+/// [`is_gabriel_edge_naive`]: candidates come from the closed disk of
+/// radius `|uv|` around `u` (a superset of the diameter disk — see the
+/// module docs for the containment argument) and are filtered by the
+/// identical squared-distance predicate.
+pub fn is_gabriel_edge(nodes: &NodeSet, index: &SpatialIndex, u: usize, v: usize) -> bool {
+    let d_uv = nodes.dist_sq(u, v);
+    let mut blocked = false;
+    index.for_each_in_disk(nodes.pos(u), nodes.dist(u, v), |w| {
+        if w != u && w != v && nodes.dist_sq(u, w) + nodes.dist_sq(w, v) <= d_uv {
+            blocked = true;
+        }
+    });
+    !blocked
+}
+
+/// Builds the Gabriel graph restricted to UDG edges with an explicit
+/// [`Engine`]: `Naive` runs the all-node witness scan per edge
+/// (`O(n·m)`), `Indexed` one local disk query per edge, `Parallel` fans
+/// the indexed queries out over the shared executor. All engines return
+/// the same topology; `Auto` picks by instance size.
+pub fn gabriel_graph_with(nodes: &NodeSet, udg: &AdjacencyList, engine: Engine) -> Topology {
+    match pipeline::resolve(engine, nodes.len()) {
+        Engine::Naive => {
+            let mut g = AdjacencyList::new(nodes.len());
+            for e in udg.edges() {
+                if is_gabriel_edge_naive(nodes, e.u, e.v) {
+                    g.add_edge(e.u, e.v, e.weight);
+                }
+            }
+            Topology::from_graph(nodes.clone(), g)
+        }
+        Engine::Indexed => gabriel_graph_parallel(nodes, udg, 1),
+        Engine::Parallel | Engine::Auto => {
+            gabriel_graph_parallel(nodes, udg, rim_par::num_threads())
         }
     }
+}
+
+/// Index-backed construction across an explicit number of worker
+/// threads (`1` = the indexed engine, inline). The edge set is
+/// independent of `threads` by construction.
+pub fn gabriel_graph_parallel(nodes: &NodeSet, udg: &AdjacencyList, threads: usize) -> Topology {
+    let index = witness_index(nodes, udg);
+    let edges = udg.edges();
+    let g = pipeline::filter_edges(nodes.len(), &edges, threads, |e| {
+        is_gabriel_edge(nodes, &index, e.u, e.v)
+    });
     Topology::from_graph(nodes.clone(), g)
+}
+
+/// Builds the Gabriel graph restricted to UDG edges
+/// ([`Engine::Auto`]) — the default entry point.
+pub fn gabriel_graph(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
+    gabriel_graph_with(nodes, udg, Engine::Auto)
 }
 
 #[cfg(test)]
@@ -84,6 +141,26 @@ mod tests {
             Point::new(1.0, 0.0),
             Point::new(0.5, 0.5),
         ]);
-        assert!(!is_gabriel_edge(&ns, 0, 1));
+        assert!(!is_gabriel_edge_naive(&ns, 0, 1));
+        let udg = unit_disk_graph(&ns);
+        let idx = witness_index(&ns, &udg);
+        assert!(!is_gabriel_edge(&ns, &idx, 0, 1), "indexed witness must agree");
+    }
+
+    #[test]
+    fn every_engine_builds_the_same_graph() {
+        let mut state = 5u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..70).map(|_| Point::new(rnd() * 2.0, rnd() * 2.0)).collect();
+        let ns = NodeSet::new(pts);
+        let udg = unit_disk_graph(&ns);
+        let oracle = gabriel_graph_with(&ns, &udg, Engine::Naive);
+        for e in [Engine::Indexed, Engine::Parallel, Engine::Auto] {
+            let t = gabriel_graph_with(&ns, &udg, e);
+            assert_eq!(oracle.edges(), t.edges(), "engine {}", e.name());
+        }
     }
 }

@@ -28,6 +28,14 @@
 //! (it is a forest that may split a UDG component — the other algorithms
 //! *contain* it and add the edges that reconnect it).
 
+//!
+//! Construction is engine-selectable: Gabriel/RNG witness predicates,
+//! LMST's per-node local MSTs, XTC's edge filter, and Yao's cone
+//! selection all run `naive | indexed | parallel | auto` (see
+//! [`pipeline`] and [`Baseline::build_with`]); every engine produces
+//! the same topology — a differential-tested invariant — and the naive
+//! witness scans are retained verbatim as oracles.
+
 #![forbid(unsafe_code)]
 
 pub mod cbtc;
@@ -37,10 +45,13 @@ pub mod kneigh;
 pub mod life;
 pub mod lmst;
 pub mod nnf;
+pub mod pipeline;
 pub mod rdg;
 pub mod rng;
 pub mod xtc;
 pub mod yao;
+
+pub use rim_core::receiver::Engine;
 
 use rim_graph::AdjacencyList;
 use rim_udg::{NodeSet, Topology};
@@ -112,17 +123,29 @@ impl Baseline {
         !matches!(self, Baseline::Nnf | Baseline::Kneigh9)
     }
 
-    /// Runs the algorithm.
+    /// Runs the algorithm with automatic engine selection
+    /// ([`Engine::Auto`]).
     pub fn build(self, nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
+        self.build_with(nodes, udg, Engine::Auto)
+    }
+
+    /// Runs the algorithm with an explicit construction [`Engine`].
+    ///
+    /// Gabriel, RNG, LMST, XTC and Yao honour the selection (identical
+    /// output on every engine — only speed differs); the remaining
+    /// baselines have no engine-sensitive stage and ignore it.
+    pub fn build_with(self, nodes: &NodeSet, udg: &AdjacencyList, engine: Engine) -> Topology {
         match self {
             Baseline::Nnf => nnf::nearest_neighbor_forest(nodes, udg),
             Baseline::Emst => emst::euclidean_mst(nodes, udg),
-            Baseline::Gabriel => gabriel::gabriel_graph(nodes, udg),
-            Baseline::Rng => rng::relative_neighborhood_graph(nodes, udg),
-            Baseline::Yao6 => yao::yao_graph(nodes, udg, 6),
-            Baseline::Xtc => xtc::xtc(nodes, udg),
+            Baseline::Gabriel => gabriel::gabriel_graph_with(nodes, udg, engine),
+            Baseline::Rng => rng::relative_neighborhood_graph_with(nodes, udg, engine),
+            Baseline::Yao6 => yao::yao_graph_with(nodes, udg, 6, engine),
+            Baseline::Xtc => xtc::xtc_with(nodes, udg, engine),
             Baseline::Life => life::life(nodes, udg),
-            Baseline::Lmst => lmst::lmst(nodes, udg, lmst::LmstVariant::Intersection),
+            Baseline::Lmst => {
+                lmst::lmst_with(nodes, udg, lmst::LmstVariant::Intersection, engine)
+            }
             Baseline::Cbtc => cbtc::cbtc(nodes, udg, cbtc::ALPHA_CONNECTIVITY),
             Baseline::Kneigh9 => kneigh::kneigh(nodes, udg, 9),
             Baseline::Rdg => rdg::restricted_delaunay(nodes, udg),

@@ -4,29 +4,92 @@
 //! to both endpoints than they are to each other (the "lune" is empty).
 //! RNG ⊆ Gabriel graph, and RNG still contains the MST and therefore the
 //! Nearest Neighbor Forest.
+//!
+//! As for the Gabriel graph, two witness predicates agree exactly: the
+//! brute-force [`is_rng_edge_naive`] oracle scans all `n` nodes, while
+//! [`is_rng_edge`] queries a [`SpatialIndex`] for the closed disk of
+//! radius `|uv|` around `u` — a lune witness has `|uw| < |uv|`, so the
+//! disk contains it even at floating-point level — and re-applies the
+//! exact predicate to the candidates.
 
+use crate::pipeline::{self, witness_index};
+use rim_core::receiver::Engine;
+use rim_geom::SpatialIndex;
 use rim_graph::AdjacencyList;
 use rim_udg::{NodeSet, Topology};
 
 /// Returns `true` if `{u, v}` is an RNG edge: there is no `w` with
 /// `max(|uw|, |wv|) < |uv|` (strict lune; a node exactly at distance
-/// `|uv|` from one endpoint does not block).
-pub fn is_rng_edge(nodes: &NodeSet, u: usize, v: usize) -> bool {
+/// `|uv|` from one endpoint does not block). Brute-force `O(n)` scan —
+/// the retained witness oracle.
+pub fn is_rng_edge_naive(nodes: &NodeSet, u: usize, v: usize) -> bool {
     let d_uv = nodes.dist_sq(u, v);
     (0..nodes.len()).all(|w| {
         w == u || w == v || nodes.dist_sq(u, w).max(nodes.dist_sq(w, v)) >= d_uv
     })
 }
 
-/// Builds the RNG restricted to UDG edges.
-pub fn relative_neighborhood_graph(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
-    let mut g = AdjacencyList::new(nodes.len());
-    for e in udg.edges() {
-        if is_rng_edge(nodes, e.u, e.v) {
-            g.add_edge(e.u, e.v, e.weight);
+/// Index-backed lune test, exactly equal to [`is_rng_edge_naive`]:
+/// candidates come from the closed disk of radius `|uv|` around `u`
+/// (a superset of the lune) and are filtered by the identical
+/// squared-distance predicate.
+pub fn is_rng_edge(nodes: &NodeSet, index: &SpatialIndex, u: usize, v: usize) -> bool {
+    let d_uv = nodes.dist_sq(u, v);
+    let mut blocked = false;
+    index.for_each_in_disk(nodes.pos(u), nodes.dist(u, v), |w| {
+        if w != u && w != v && nodes.dist_sq(u, w).max(nodes.dist_sq(w, v)) < d_uv {
+            blocked = true;
+        }
+    });
+    !blocked
+}
+
+/// Builds the RNG restricted to UDG edges with an explicit [`Engine`]:
+/// `Naive` scans all nodes per edge (`O(n·m)`), `Indexed` runs one local
+/// disk query per edge, `Parallel` fans the queries out over the shared
+/// executor. All engines return the same topology.
+pub fn relative_neighborhood_graph_with(
+    nodes: &NodeSet,
+    udg: &AdjacencyList,
+    engine: Engine,
+) -> Topology {
+    match pipeline::resolve(engine, nodes.len()) {
+        Engine::Naive => {
+            let mut g = AdjacencyList::new(nodes.len());
+            for e in udg.edges() {
+                if is_rng_edge_naive(nodes, e.u, e.v) {
+                    g.add_edge(e.u, e.v, e.weight);
+                }
+            }
+            Topology::from_graph(nodes.clone(), g)
+        }
+        Engine::Indexed => relative_neighborhood_graph_parallel(nodes, udg, 1),
+        Engine::Parallel | Engine::Auto => {
+            relative_neighborhood_graph_parallel(nodes, udg, rim_par::num_threads())
         }
     }
+}
+
+/// Index-backed construction across an explicit number of worker
+/// threads (`1` = the indexed engine, inline). The edge set is
+/// independent of `threads` by construction.
+pub fn relative_neighborhood_graph_parallel(
+    nodes: &NodeSet,
+    udg: &AdjacencyList,
+    threads: usize,
+) -> Topology {
+    let index = witness_index(nodes, udg);
+    let edges = udg.edges();
+    let g = pipeline::filter_edges(nodes.len(), &edges, threads, |e| {
+        is_rng_edge(nodes, &index, e.u, e.v)
+    });
     Topology::from_graph(nodes.clone(), g)
+}
+
+/// Builds the RNG restricted to UDG edges ([`Engine::Auto`]) — the
+/// default entry point.
+pub fn relative_neighborhood_graph(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
+    relative_neighborhood_graph_with(nodes, udg, Engine::Auto)
 }
 
 #[cfg(test)]
@@ -45,9 +108,13 @@ mod tests {
             Point::new(1.0, 0.0),
             Point::new(0.5, 0.3),
         ]);
-        assert!(!is_rng_edge(&ns, 0, 1));
-        assert!(is_rng_edge(&ns, 0, 2));
-        assert!(is_rng_edge(&ns, 1, 2));
+        assert!(!is_rng_edge_naive(&ns, 0, 1));
+        assert!(is_rng_edge_naive(&ns, 0, 2));
+        assert!(is_rng_edge_naive(&ns, 1, 2));
+        let udg = unit_disk_graph(&ns);
+        let idx = witness_index(&ns, &udg);
+        assert!(!is_rng_edge(&ns, &idx, 0, 1), "indexed lune test must agree");
+        assert!(is_rng_edge(&ns, &idx, 0, 2));
     }
 
     #[test]
@@ -76,5 +143,22 @@ mod tests {
         let t = relative_neighborhood_graph(&ns, &udg);
         assert_eq!(t.num_edges(), 3);
         assert!(t.graph().has_edge(0, 1) && t.graph().has_edge(1, 2) && t.graph().has_edge(2, 3));
+    }
+
+    #[test]
+    fn every_engine_builds_the_same_graph() {
+        let mut state = 91u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..70).map(|_| Point::new(rnd() * 2.0, rnd() * 2.0)).collect();
+        let ns = NodeSet::new(pts);
+        let udg = unit_disk_graph(&ns);
+        let oracle = relative_neighborhood_graph_with(&ns, &udg, Engine::Naive);
+        for e in [Engine::Indexed, Engine::Parallel, Engine::Auto] {
+            let t = relative_neighborhood_graph_with(&ns, &udg, e);
+            assert_eq!(oracle.edges(), t.edges(), "engine {}", e.name());
+        }
     }
 }

@@ -15,7 +15,14 @@
 //! most 6 in general position. XTC needs no position information — only
 //! the neighbor rankings — which is why the paper lists it among the
 //! "minimal assumptions" algorithms.
+//!
+//! The witness scan is already neighborhood-local (`O(deg²)` per node),
+//! so the `Naive` and `Indexed` engines share the serial path; the
+//! `Parallel` engine fans the per-edge test out over the shared
+//! executor.
 
+use crate::pipeline;
+use rim_core::receiver::Engine;
 use rim_graph::AdjacencyList;
 use rim_udg::{NodeSet, Topology};
 
@@ -39,15 +46,31 @@ pub fn keeps_edge(nodes: &NodeSet, udg: &AdjacencyList, u: usize, v: usize) -> b
     })
 }
 
-/// Builds the XTC topology over the UDG.
-pub fn xtc(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
-    let mut g = AdjacencyList::new(nodes.len());
-    for e in udg.edges() {
-        if keeps_edge(nodes, udg, e.u, e.v) {
-            g.add_edge(e.u, e.v, e.weight);
-        }
+/// Builds the XTC topology over the UDG with an explicit [`Engine`].
+/// The per-edge test is already local, so `Naive` and `Indexed` share
+/// the serial path; `Parallel` fans it out across workers. All engines
+/// return the same topology.
+pub fn xtc_with(nodes: &NodeSet, udg: &AdjacencyList, engine: Engine) -> Topology {
+    match pipeline::resolve(engine, nodes.len()) {
+        Engine::Naive | Engine::Indexed => xtc_parallel(nodes, udg, 1),
+        Engine::Parallel | Engine::Auto => xtc_parallel(nodes, udg, rim_par::num_threads()),
     }
+}
+
+/// XTC across an explicit number of worker threads (`1` = serial,
+/// inline). The edge set is independent of `threads` by construction.
+pub fn xtc_parallel(nodes: &NodeSet, udg: &AdjacencyList, threads: usize) -> Topology {
+    let edges = udg.edges();
+    let g = pipeline::filter_edges(nodes.len(), &edges, threads, |e| {
+        keeps_edge(nodes, udg, e.u, e.v)
+    });
     Topology::from_graph(nodes.clone(), g)
+}
+
+/// Builds the XTC topology over the UDG ([`Engine::Auto`]) — the
+/// default entry point.
+pub fn xtc(nodes: &NodeSet, udg: &AdjacencyList) -> Topology {
+    xtc_with(nodes, udg, Engine::Auto)
 }
 
 #[cfg(test)]
@@ -101,5 +124,22 @@ mod tests {
         assert!(t.graph().has_edge(1, 2));
         assert!(!t.graph().has_edge(0, 2));
         assert!(t.preserves_connectivity_of(&udg));
+    }
+
+    #[test]
+    fn every_engine_builds_the_same_graph() {
+        let mut state = 40u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..80).map(|_| Point::new(rnd() * 2.0, rnd() * 2.0)).collect();
+        let ns = NodeSet::new(pts);
+        let udg = unit_disk_graph(&ns);
+        let oracle = xtc_with(&ns, &udg, Engine::Naive);
+        for e in [Engine::Indexed, Engine::Parallel, Engine::Auto] {
+            let t = xtc_with(&ns, &udg, e);
+            assert_eq!(oracle.edges(), t.edges(), "engine {}", e.name());
+        }
     }
 }

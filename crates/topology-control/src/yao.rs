@@ -5,48 +5,102 @@
 //! undirected output is the union of all selected links (a link exists if
 //! *either* endpoint selected it), the convention of the CBTC family. For
 //! `k >= 6` the result is connected on each UDG component and a spanner.
+//!
+//! The per-node cone selection is already neighborhood-local, so the
+//! `Naive` and `Indexed` engines share the serial path; the `Parallel`
+//! engine fans nodes out over the shared executor and merges the
+//! selected links through a sorted, deduplicated pair list — the same
+//! edge set for every thread count.
 
+use crate::pipeline;
+use rim_core::receiver::Engine;
 use rim_graph::AdjacencyList;
 use rim_udg::{NodeSet, Topology};
 
-/// Builds the Yao graph with `k >= 1` cones, restricted to UDG edges.
+/// Fills `best` with node `u`'s per-cone selections: `best[j]` is the
+/// closest UDG neighbor inside cone `j` (ties towards the smaller
+/// index), or `None` for empty cones. `best` must have length `k`.
+fn cone_selection(nodes: &NodeSet, udg: &AdjacencyList, u: usize, best: &mut [Option<usize>]) {
+    let k = best.len();
+    let tau = std::f64::consts::TAU;
+    best.iter_mut().for_each(|b| *b = None);
+    let pu = nodes.pos(u);
+    for v in udg.neighbors(u) {
+        let mut angle = pu.angle_to(&nodes.pos(v));
+        if angle < 0.0 {
+            angle += tau;
+        }
+        let cone = ((angle / tau * k as f64) as usize).min(k - 1);
+        let replace = match best[cone] {
+            None => true,
+            Some(w) => {
+                let dv = nodes.dist_sq(u, v);
+                let dw = nodes.dist_sq(u, w);
+                dv < dw || (dv == dw && v < w)
+            }
+        };
+        if replace {
+            best[cone] = Some(v);
+        }
+    }
+}
+
+/// Builds the Yao graph with `k >= 1` cones, restricted to UDG edges,
+/// with an explicit [`Engine`]. Cone selection is already local, so
+/// `Naive` and `Indexed` share the serial path; `Parallel` fans the
+/// per-node stage out across workers. All engines return the same
+/// topology.
 ///
 /// Cone `j` at node `u` covers angles `[2πj/k, 2π(j+1)/k)` measured from
 /// the positive x-axis. Ties within a cone break towards the smaller
 /// index.
-pub fn yao_graph(nodes: &NodeSet, udg: &AdjacencyList, k: usize) -> Topology {
+pub fn yao_graph_with(nodes: &NodeSet, udg: &AdjacencyList, k: usize, engine: Engine) -> Topology {
     assert!(k >= 1, "need at least one cone");
-    let mut g = AdjacencyList::new(nodes.len());
-    let tau = std::f64::consts::TAU;
-    let mut best: Vec<Option<usize>> = vec![None; k];
-    for u in 0..nodes.len() {
-        best.iter_mut().for_each(|b| *b = None);
-        let pu = nodes.pos(u);
-        for v in udg.neighbors(u) {
-            let mut angle = pu.angle_to(&nodes.pos(v));
-            if angle < 0.0 {
-                angle += tau;
-            }
-            let cone = ((angle / tau * k as f64) as usize).min(k - 1);
-            let replace = match best[cone] {
-                None => true,
-                Some(w) => {
-                    let dv = nodes.dist_sq(u, v);
-                    let dw = nodes.dist_sq(u, w);
-                    dv < dw || (dv == dw && v < w)
-                }
-            };
-            if replace {
-                best[cone] = Some(v);
-            }
-        }
-        for &sel in best.iter().flatten() {
-            if !g.has_edge(u, sel) {
-                g.add_edge(u, sel, nodes.dist(u, sel));
-            }
+    match pipeline::resolve(engine, nodes.len()) {
+        Engine::Naive | Engine::Indexed => yao_graph_parallel(nodes, udg, k, 1),
+        Engine::Parallel | Engine::Auto => {
+            yao_graph_parallel(nodes, udg, k, rim_par::num_threads())
         }
     }
+}
+
+/// Yao construction across an explicit number of worker threads (`1` =
+/// serial, inline): each worker selects cones for a contiguous node
+/// range, and the directed selections are merged into the undirected
+/// union via a sorted pair list. The edge set is independent of
+/// `threads` by construction.
+pub fn yao_graph_parallel(
+    nodes: &NodeSet,
+    udg: &AdjacencyList,
+    k: usize,
+    threads: usize,
+) -> Topology {
+    assert!(k >= 1, "need at least one cone");
+    let chunks = rim_par::par_map_ranges(nodes.len(), threads, |range| {
+        let mut best: Vec<Option<usize>> = vec![None; k];
+        let mut out: Vec<(usize, usize)> = Vec::new();
+        for u in range {
+            cone_selection(nodes, udg, u, &mut best);
+            for &sel in best.iter().flatten() {
+                out.push((u.min(sel), u.max(sel)));
+            }
+        }
+        out
+    });
+    let mut pairs: Vec<(usize, usize)> = chunks.into_iter().flatten().collect();
+    pairs.sort_unstable();
+    pairs.dedup();
+    let mut g = AdjacencyList::new(nodes.len());
+    for (u, v) in pairs {
+        g.add_edge(u, v, nodes.dist(u, v));
+    }
     Topology::from_graph(nodes.clone(), g)
+}
+
+/// Builds the Yao graph with `k >= 1` cones, restricted to UDG edges
+/// ([`Engine::Auto`]) — the default entry point.
+pub fn yao_graph(nodes: &NodeSet, udg: &AdjacencyList, k: usize) -> Topology {
+    yao_graph_with(nodes, udg, k, Engine::Auto)
 }
 
 #[cfg(test)]
@@ -101,5 +155,26 @@ mod tests {
         a.sort_unstable();
         b.sort_unstable();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn every_engine_builds_the_same_graph() {
+        let mut state = 55u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let pts: Vec<Point> = (0..90).map(|_| Point::new(rnd() * 2.0, rnd() * 2.0)).collect();
+        let ns = NodeSet::new(pts);
+        let udg = unit_disk_graph(&ns);
+        let oracle = yao_graph_with(&ns, &udg, 6, Engine::Naive);
+        for e in [Engine::Indexed, Engine::Parallel, Engine::Auto] {
+            let t = yao_graph_with(&ns, &udg, 6, e);
+            let mut a: Vec<_> = oracle.edges().iter().map(|x| x.pair()).collect();
+            let mut b: Vec<_> = t.edges().iter().map(|x| x.pair()).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "engine {}", e.name());
+        }
     }
 }

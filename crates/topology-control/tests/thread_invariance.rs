@@ -1,0 +1,108 @@
+//! Thread-count invariance of the parallel construction pipeline.
+//!
+//! The scatter executor hands each worker a contiguous node/edge range
+//! and every stage reassembles its output in input order, so the built
+//! topology must be *identical* — not merely isomorphic — for every
+//! thread count. This property layer pins that down over seeded random
+//! instances with explicit thread counts `1..=8`, independent of the
+//! machine's actual core count.
+
+use rim_geom::Point;
+use rim_rng::prop::check;
+use rim_rng::{prop_ensure_eq, SmallRng};
+use rim_topology_control::gabriel::gabriel_graph_parallel;
+use rim_topology_control::lmst::{lmst_parallel, LmstVariant};
+use rim_topology_control::rng::relative_neighborhood_graph_parallel;
+use rim_topology_control::xtc::xtc_parallel;
+use rim_topology_control::yao::yao_graph_parallel;
+use rim_udg::udg::unit_disk_graph;
+use rim_udg::{NodeSet, Topology};
+
+/// Draws a node set whose size and density vary per case: between 2 and
+/// 120 nodes on a square whose side scales the expected degree from
+/// sparse chains to near-cliques.
+fn arb_nodes(rng: &mut SmallRng) -> NodeSet {
+    let n = rng.gen_range(2usize..120);
+    let side = rng.gen_range(0.3..3.0);
+    NodeSet::new(
+        (0..n)
+            .map(|_| Point::new(rng.gen_range(0.0..side), rng.gen_range(0.0..side)))
+            .collect(),
+    )
+}
+
+/// Exact edge-list view: order AND weights, not just the edge set — the
+/// invariance claim is bitwise, so compare the strongest observable.
+fn edge_list(t: &Topology) -> Vec<(usize, usize, u64)> {
+    t.edges().iter().map(|e| (e.u, e.v, e.weight.to_bits())).collect()
+}
+
+/// Checks one constructor for thread-count invariance against its own
+/// single-threaded run.
+fn invariant_over_threads<F>(name: &str, cases: u32, build: F)
+where
+    F: Fn(&NodeSet, &rim_graph::AdjacencyList, usize) -> Topology,
+{
+    check(name, cases, arb_nodes, |ns| {
+        let udg = unit_disk_graph(ns);
+        let reference = edge_list(&build(ns, &udg, 1));
+        for threads in 2..=8usize {
+            let got = edge_list(&build(ns, &udg, threads));
+            prop_ensure_eq!(reference, got);
+        }
+        Ok(())
+    });
+}
+
+#[test]
+fn gabriel_is_thread_count_invariant() {
+    invariant_over_threads("gabriel_is_thread_count_invariant", 24, |ns, udg, t| {
+        gabriel_graph_parallel(ns, udg, t)
+    });
+}
+
+#[test]
+fn rng_is_thread_count_invariant() {
+    invariant_over_threads("rng_is_thread_count_invariant", 24, |ns, udg, t| {
+        relative_neighborhood_graph_parallel(ns, udg, t)
+    });
+}
+
+#[test]
+fn lmst_intersection_is_thread_count_invariant() {
+    invariant_over_threads("lmst_intersection_is_thread_count_invariant", 12, |ns, udg, t| {
+        lmst_parallel(ns, udg, LmstVariant::Intersection, t)
+    });
+}
+
+#[test]
+fn lmst_union_is_thread_count_invariant() {
+    invariant_over_threads("lmst_union_is_thread_count_invariant", 12, |ns, udg, t| {
+        lmst_parallel(ns, udg, LmstVariant::Union, t)
+    });
+}
+
+#[test]
+fn xtc_is_thread_count_invariant() {
+    invariant_over_threads("xtc_is_thread_count_invariant", 24, |ns, udg, t| {
+        xtc_parallel(ns, udg, t)
+    });
+}
+
+#[test]
+fn yao6_is_thread_count_invariant() {
+    invariant_over_threads("yao6_is_thread_count_invariant", 24, |ns, udg, t| {
+        yao_graph_parallel(ns, udg, 6, t)
+    });
+}
+
+#[test]
+fn thread_counts_beyond_node_count_are_fine() {
+    // More workers than items: the executor clamps, the output does not
+    // change.
+    let ns = NodeSet::on_line(&[0.0, 0.4, 0.9, 1.3]);
+    let udg = unit_disk_graph(&ns);
+    let reference = edge_list(&gabriel_graph_parallel(&ns, &udg, 1));
+    assert_eq!(reference, edge_list(&gabriel_graph_parallel(&ns, &udg, 64)));
+    assert_eq!(reference, edge_list(&xtc_parallel(&ns, &udg, 64)));
+}

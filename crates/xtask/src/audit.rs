@@ -353,22 +353,38 @@ pub fn audit_member(member: &Member, workspace_crates: &BTreeSet<String>, out: &
     }
 }
 
-/// The function name of the permanent `O(n²)` interference oracle.
-/// Every fast kernel is differential-tested against it, so the tests
-/// must keep calling it — an optimization PR that silently rewires the
-/// suites onto a fast engine would make the differential layer vacuous.
-pub const NAIVE_ORACLE: &str = "interference_vector_naive";
+/// The permanent brute-force oracles. Every fast engine is
+/// differential-tested against these, so the tests must keep calling
+/// them — an optimization PR that silently rewires the suites onto a
+/// fast engine would make the differential layer vacuous.
+///
+/// The interference oracle guards the receiver-centric kernel; the
+/// witness-predicate oracles guard the index-backed Gabriel/RNG stages
+/// of the topology pipeline.
+pub const RETAINED_ORACLES: &[&str] = &[
+    "interference_vector_naive",
+    "is_gabriel_edge_naive",
+    "is_rng_edge_naive",
+];
 
-/// Workspace-level audit: if the naive interference oracle is *defined*
-/// in library sources, it must retain at least one caller in test scope
-/// (integration tests, benches, examples, or `#[cfg(test)]` modules).
+/// Workspace-level audit: for each retained oracle in
+/// [`RETAINED_ORACLES`] that is *defined* in library sources, there
+/// must be at least one caller in test scope (integration tests,
+/// benches, examples, or `#[cfg(test)]` modules).
 ///
 /// The definition gate keeps the audit silent on workspaces that never
-/// had the oracle (e.g. the lint-test fixture); deleting the definition
+/// had an oracle (e.g. the lint-test fixture); deleting a definition
 /// together with its callers instead trips `unused`/compile failures in
 /// the crates whose suites import it.
 pub fn audit_oracle_retained(members: &[Member], out: &mut Vec<Diagnostic>) {
-    // Definition site: `fn interference_vector_naive` in lib sources.
+    for oracle in RETAINED_ORACLES {
+        audit_one_oracle(oracle, members, out);
+    }
+}
+
+/// The per-oracle check behind [`audit_oracle_retained`].
+fn audit_one_oracle(oracle: &str, members: &[Member], out: &mut Vec<Diagnostic>) {
+    // Definition site: `fn <oracle>` in lib sources.
     let mut def: Option<(String, u32)> = None;
     for member in members {
         for (path, tokens, _) in &member.lib_sources {
@@ -377,7 +393,7 @@ pub fn audit_oracle_retained(members: &[Member], out: &mut Vec<Diagnostic>) {
                 .filter(|t| !matches!(t.kind, Kind::Comment | Kind::DocComment))
                 .collect();
             for w in code.windows(2) {
-                if w[0].text == "fn" && w[1].kind == Kind::Ident && w[1].text == NAIVE_ORACLE {
+                if w[0].text == "fn" && w[1].kind == Kind::Ident && w[1].text == oracle {
                     def = Some((path.clone(), w[1].line));
                 }
             }
@@ -394,7 +410,7 @@ pub fn audit_oracle_retained(members: &[Member], out: &mut Vec<Diagnostic>) {
         for (_, tokens, _) in &member.test_sources {
             callers += tokens
                 .iter()
-                .filter(|t| t.kind == Kind::Ident && t.text == NAIVE_ORACLE)
+                .filter(|t| t.kind == Kind::Ident && t.text == oracle)
                 .count();
         }
         for (_, tokens, ranges) in &member.lib_sources {
@@ -403,7 +419,7 @@ pub fn audit_oracle_retained(members: &[Member], out: &mut Vec<Diagnostic>) {
                 .enumerate()
                 .filter(|(i, t)| {
                     t.kind == Kind::Ident
-                        && t.text == NAIVE_ORACLE
+                        && t.text == oracle
                         && ranges.iter().any(|&(s, e)| *i >= s && *i < e)
                 })
                 .count();
@@ -415,9 +431,9 @@ pub fn audit_oracle_retained(members: &[Member], out: &mut Vec<Diagnostic>) {
             file: def_file,
             line: def_line,
             message: format!(
-                "`{NAIVE_ORACLE}` is defined but no test, bench, or example references \
+                "`{oracle}` is defined but no test, bench, or example references \
                  it; the differential-oracle suites must keep exercising the naive \
-                 reference kernel"
+                 reference implementations"
             ),
         });
     }
@@ -656,6 +672,35 @@ mod tests {
         out.clear();
         audit_oracle_retained(&[member_with_sources(doc_only, None)], &mut out);
         assert_eq!(out.len(), 1, "{out:#?}");
+    }
+
+    #[test]
+    fn oracle_audit_tracks_each_retained_oracle_independently() {
+        // Both witness oracles defined; only Gabriel's has a test
+        // caller — exactly one finding, naming the RNG oracle.
+        let lib = "pub fn is_gabriel_edge_naive() {}\npub fn is_rng_edge_naive() {}\n";
+        let member = member_with_sources(lib, Some("fn t() { is_gabriel_edge_naive(); }\n"));
+        let mut out = Vec::new();
+        audit_oracle_retained(&[member], &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "naive-oracle-retained");
+        assert!(out[0].message.contains("is_rng_edge_naive"), "{}", out[0].message);
+        assert_eq!(out[0].line, 2);
+        // With callers for both, the audit is silent.
+        let member = member_with_sources(
+            lib,
+            Some("fn t() { is_gabriel_edge_naive(); is_rng_edge_naive(); }\n"),
+        );
+        out.clear();
+        audit_oracle_retained(&[member], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn retained_oracle_list_includes_the_witness_predicates() {
+        for name in ["interference_vector_naive", "is_gabriel_edge_naive", "is_rng_edge_naive"] {
+            assert!(RETAINED_ORACLES.contains(&name), "{name} missing");
+        }
     }
 
     #[test]

@@ -12,8 +12,9 @@
 //!   used-but-undeclared dependencies per crate, an (empty) external
 //!   dependency allowlist keeping the build hermetic,
 //!   `[[bench]]` ↔ `benches/*.rs` consistency, and the
-//!   `naive-oracle-retained` audit (the `O(n²)` interference reference
-//!   kernel must keep test callers — see [`audit::audit_oracle_retained`]).
+//!   `naive-oracle-retained` audit (every retained brute-force oracle —
+//!   the `O(n²)` interference kernel and the Gabriel/RNG witness scans —
+//!   must keep test callers — see [`audit::audit_oracle_retained`]).
 //!
 //! The workspace gates itself on a clean run: an integration test
 //! asserts `run_lint(workspace_root)` returns zero diagnostics, so
