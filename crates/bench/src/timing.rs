@@ -34,6 +34,9 @@ pub struct CaseResult {
     pub p50_ns: f64,
     /// 95th-percentile per-iteration time in nanoseconds.
     pub p95_ns: f64,
+    /// Observability counter deltas accumulated over warmup + timed
+    /// iterations (only counters that moved), name-sorted.
+    pub counters: Vec<(String, u64)>,
 }
 
 /// Nearest-rank percentile of an ascending-sorted sample; `q` in `[0, 1]`.
@@ -67,15 +70,27 @@ fn jsonl_record(group: &str, r: &CaseResult) -> String {
     fn esc(s: &str) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
-    format!(
-        "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p95_ns\":{:.1}}}",
+    let mut line = format!(
+        "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p95_ns\":{:.1}",
         esc(group),
         esc(&r.id),
         r.iters,
         r.mean_ns,
         r.p50_ns,
         r.p95_ns
-    )
+    );
+    if !r.counters.is_empty() {
+        line.push_str(",\"counters\":{");
+        for (i, (name, value)) in r.counters.iter().enumerate() {
+            if i > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("\"{}\":{value}", esc(name)));
+        }
+        line.push('}');
+    }
+    line.push('}');
+    line
 }
 
 /// A benchmark group: accumulates case results, then reports.
@@ -88,6 +103,10 @@ impl Harness {
     /// Opens a group; `group` conventionally matches the historical
     /// Criterion group name of the bench target.
     pub fn new(group: &str) -> Self {
+        // Benchmarks always run with the recorder enabled so each case
+        // can report what the measured code actually did (disk queries,
+        // scatter chunks, …) next to how long it took.
+        rim_obs::install_recorder();
         println!("benchmark group: {group}");
         Harness {
             group: group.to_string(),
@@ -98,7 +117,16 @@ impl Harness {
     /// Measures one case. `id` is the part after the group
     /// (e.g. `"grid/500"`); the stored id is `group/id`.
     pub fn bench<R>(&mut self, id: &str, f: impl FnMut() -> R) {
+        let before = rim_obs::global().map(|r| r.counters()).unwrap_or_default();
         let (mean_ns, p50_ns, p95_ns) = measure(f);
+        let after = rim_obs::global().map(|r| r.counters()).unwrap_or_default();
+        let counters: Vec<(String, u64)> = after
+            .into_iter()
+            .filter_map(|(name, v)| {
+                let delta = v - before.get(&name).copied().unwrap_or(0);
+                (delta > 0).then_some((name, delta))
+            })
+            .collect();
         let full = format!("{}/{}", self.group, id);
         println!(
             "  {full:<44} mean {:>12}  p50 {:>12}  p95 {:>12}",
@@ -112,6 +140,7 @@ impl Harness {
             mean_ns,
             p50_ns,
             p95_ns,
+            counters,
         });
     }
 
@@ -185,12 +214,48 @@ mod tests {
             mean_ns: 1234.5,
             p50_ns: 1200.0,
             p95_ns: 2000.0,
+            counters: Vec::new(),
         };
         let line = jsonl_record("g", &r);
         assert!(line.starts_with("{\"group\":\"g\",\"bench\":\"g/fast/64\""));
         assert!(line.ends_with('}'));
         assert!(line.contains("\"iters\":10"));
         assert!(line.contains("\"mean_ns\":1234.5"));
+        assert!(!line.contains("counters"), "empty counters stay omitted");
+    }
+
+    #[test]
+    fn jsonl_record_attaches_counter_deltas() {
+        let r = CaseResult {
+            id: "g/fast/64".into(),
+            iters: 10,
+            mean_ns: 1.0,
+            p50_ns: 1.0,
+            p95_ns: 1.0,
+            counters: vec![("core.disk_queries".into(), 640), ("par.scatter_chunks".into(), 4)],
+        };
+        let line = jsonl_record("g", &r);
+        assert!(
+            line.contains("\"counters\":{\"core.disk_queries\":640,\"par.scatter_chunks\":4}"),
+            "{line}"
+        );
+        assert!(line.ends_with("}}"), "{line}");
+    }
+
+    #[test]
+    fn bench_captures_counter_deltas_from_measured_code() {
+        let mut h = Harness::new("timing_self_test");
+        h.bench("counting", || rim_obs::counter_add("bench.self_test.iterations", 1));
+        let total: u64 = h.results[0]
+            .counters
+            .iter()
+            .filter(|(n, _)| n == "bench.self_test.iterations")
+            .map(|(_, v)| *v)
+            .sum();
+        // Warmup iterations run inside `bench` too, so they are part of
+        // the delta by design: the counters describe everything the case
+        // executed, not just the timed window.
+        assert_eq!(total, u64::from(WARMUP_ITERS + TIMED_ITERS));
     }
 
     #[test]
@@ -201,6 +266,7 @@ mod tests {
             mean_ns: 1.0,
             p50_ns: 1.0,
             p95_ns: 1.0,
+            counters: Vec::new(),
         };
         assert!(jsonl_record("g", &r).contains("a\\\"b"));
     }

@@ -23,12 +23,14 @@ commands:
                    linear|a-exp|a-gen|a-apx|a-gen2
             --nodes FILE [--out FILE]
             [--engine naive|indexed|parallel|auto]   (construction pipeline)
-            [--timing true]   (per-stage wall times on stderr)
+            [--obs human|jsonl]   (spans/counters/histograms on stderr)
+            [--timing true]   (alias for --obs human)
   analyze   --nodes FILE --topology FILE
             [--engine naive|indexed|parallel|auto]   (interference kernel)
+            [--obs human|jsonl]
   optimal   --nodes FILE [--max-steps N]   (exact solver; n <= 12)
   simulate  --nodes FILE --topology FILE [--slots N] [--mac csma|aloha]
-            [--flows N] [--period N] [--seed K]
+            [--flows N] [--period N] [--seed K] [--obs human|jsonl]
   schedule  --nodes FILE --topology FILE   (conflict-free TDMA frame)
   render    --nodes FILE --topology FILE [--out FILE.svg]
             [--disks true|false] [--labels true|false] [--arcs true|false]
@@ -57,6 +59,46 @@ fn load_nodes(args: &Args) -> Result<NodeSet, UsageError> {
 fn load_topology(args: &Args, nodes: &NodeSet) -> Result<Topology, UsageError> {
     let path = args.required("topology")?;
     io::parse_topology(&read(&path)?, nodes).map_err(|e| UsageError(format!("{path}: {e}")))
+}
+
+/// Observability report mode, shared by `control`, `analyze`, `simulate`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ObsMode {
+    Off,
+    Human,
+    Jsonl,
+}
+
+fn obs_mode(args: &Args) -> Result<ObsMode, UsageError> {
+    match args.opt("obs", "off").as_str() {
+        "off" => Ok(ObsMode::Off),
+        "human" => Ok(ObsMode::Human),
+        "jsonl" => Ok(ObsMode::Jsonl),
+        other => Err(UsageError(format!(
+            "unknown --obs mode {other} (expected off, human or jsonl)"
+        ))),
+    }
+}
+
+/// Installs the process-wide recorder when observability is requested.
+/// The CLI is one of the two binaries allowed to construct an enabled
+/// sink (the `obs-no-op-default` lint audit enforces this).
+fn obs_install(mode: ObsMode) -> Option<&'static rim_obs::Recorder> {
+    match mode {
+        ObsMode::Off => None,
+        ObsMode::Human | ObsMode::Jsonl => Some(rim_obs::install_recorder()),
+    }
+}
+
+/// Emits the collected snapshot on stderr, keeping stdout machine-readable.
+fn emit_obs(mode: ObsMode, rec: Option<&rim_obs::Recorder>) {
+    let Some(rec) = rec else { return };
+    let snap = rec.snapshot();
+    match mode {
+        ObsMode::Off => {}
+        ObsMode::Human => eprint!("{}", snap.render_human()),
+        ObsMode::Jsonl => eprint!("{}", snap.to_jsonl()),
+    }
 }
 
 /// `rim generate` — workload generators to a nodes file.
@@ -96,79 +138,93 @@ pub fn control(args: &Args) -> Result<(), UsageError> {
     let algo = args.required("algo")?;
     let engine: Engine = args.opt_parse("engine", Engine::Auto)?;
     let timing: bool = args.opt_parse("timing", false)?;
-    let t0 = std::time::Instant::now();
-    let nodes = load_nodes(args)?;
-    let t_load = t0.elapsed();
-    let t1 = std::time::Instant::now();
-    let udg = unit_disk_graph(&nodes);
-    let t_udg = t1.elapsed();
-    let highway = || -> Result<HighwayInstance, UsageError> {
-        if !nodes.is_highway() {
-            return Err(UsageError(format!(
-                "--algo {algo} requires a highway (1-D) instance"
-            )));
-        }
-        Ok(HighwayInstance::new(
-            nodes.points().iter().map(|p| p.x).collect(),
-        ))
-    };
-    let t2 = std::time::Instant::now();
-    let topology = match algo.as_str() {
-        "nnf" => Baseline::Nnf.build_with(&nodes, &udg, engine),
-        "mst" => Baseline::Emst.build_with(&nodes, &udg, engine),
-        "gg" => Baseline::Gabriel.build_with(&nodes, &udg, engine),
-        "rng" => Baseline::Rng.build_with(&nodes, &udg, engine),
-        "yao6" => Baseline::Yao6.build_with(&nodes, &udg, engine),
-        "xtc" => Baseline::Xtc.build_with(&nodes, &udg, engine),
-        "life" => Baseline::Life.build_with(&nodes, &udg, engine),
-        "lmst" => Baseline::Lmst.build_with(&nodes, &udg, engine),
-        "cbtc" => Baseline::Cbtc.build_with(&nodes, &udg, engine),
-        "kneigh9" => Baseline::Kneigh9.build_with(&nodes, &udg, engine),
-        "rdg" => Baseline::Rdg.build_with(&nodes, &udg, engine),
-        "linear" => highway()?.linear_topology(),
-        "a-exp" => rim_highway::a_exp(&highway()?).topology,
-        "a-gen" => rim_highway::a_gen(&highway()?).topology,
-        "a-apx" => rim_highway::a_apx(&highway()?).topology,
-        "a-gen2" => rim_highway::plane::a_gen_2d(&nodes).topology,
-        other => return Err(UsageError(format!("unknown --algo {other}"))),
-    };
-    let t_construct = t2.elapsed();
-    let out = args.opt("out", "-");
-    args.finish()?;
-    // Note on the generated file whether the mandatory requirement holds.
-    let mut content = io::format_topology(&topology);
-    content.push_str(&format!(
-        "# algo = {algo}, edges = {}, preserves connectivity = {}\n",
-        topology.num_edges(),
-        topology.preserves_connectivity_of(&udg)
-    ));
-    let t3 = std::time::Instant::now();
-    let result = write_out(&out, &content);
-    let t_write = t3.elapsed();
-    if timing {
-        // Stage timings go to stderr so `--out -` topology output stays
-        // machine-readable on stdout.
-        eprintln!(
-            "timing: engine = {}, load = {:.3} ms, udg = {:.3} ms, construct = {:.3} ms, \
-             write = {:.3} ms",
-            engine.name(),
-            t_load.as_secs_f64() * 1e3,
-            t_udg.as_secs_f64() * 1e3,
-            t_construct.as_secs_f64() * 1e3,
-            t_write.as_secs_f64() * 1e3,
-        );
+    let mut mode = obs_mode(args)?;
+    if timing && mode == ObsMode::Off {
+        // `--timing true` predates `--obs`; keep it as an alias so the
+        // per-stage wall times still land on stderr.
+        mode = ObsMode::Human;
     }
+    let out = args.opt("out", "-");
+    args.required("nodes")?; // consumed again by load_nodes below
+    args.finish()?;
+    let rec = obs_install(mode);
+    let result = (|| {
+        let _root = rim_obs::span("control");
+        let nodes = {
+            let _s = rim_obs::span("load");
+            load_nodes(args)?
+        };
+        let udg = {
+            let _s = rim_obs::span("udg");
+            unit_disk_graph(&nodes)
+        };
+        let highway = || -> Result<HighwayInstance, UsageError> {
+            if !nodes.is_highway() {
+                return Err(UsageError(format!(
+                    "--algo {algo} requires a highway (1-D) instance"
+                )));
+            }
+            Ok(HighwayInstance::new(
+                nodes.points().iter().map(|p| p.x).collect(),
+            ))
+        };
+        let topology = {
+            let _s = rim_obs::span("construct");
+            match algo.as_str() {
+                "nnf" => Baseline::Nnf.build_with(&nodes, &udg, engine),
+                "mst" => Baseline::Emst.build_with(&nodes, &udg, engine),
+                "gg" => Baseline::Gabriel.build_with(&nodes, &udg, engine),
+                "rng" => Baseline::Rng.build_with(&nodes, &udg, engine),
+                "yao6" => Baseline::Yao6.build_with(&nodes, &udg, engine),
+                "xtc" => Baseline::Xtc.build_with(&nodes, &udg, engine),
+                "life" => Baseline::Life.build_with(&nodes, &udg, engine),
+                "lmst" => Baseline::Lmst.build_with(&nodes, &udg, engine),
+                "cbtc" => Baseline::Cbtc.build_with(&nodes, &udg, engine),
+                "kneigh9" => Baseline::Kneigh9.build_with(&nodes, &udg, engine),
+                "rdg" => Baseline::Rdg.build_with(&nodes, &udg, engine),
+                "linear" => highway()?.linear_topology(),
+                "a-exp" => rim_highway::a_exp(&highway()?).topology,
+                "a-gen" => rim_highway::a_gen(&highway()?).topology,
+                "a-apx" => rim_highway::a_apx(&highway()?).topology,
+                "a-gen2" => rim_highway::plane::a_gen_2d(&nodes).topology,
+                other => return Err(UsageError(format!("unknown --algo {other}"))),
+            }
+        };
+        // Note on the generated file whether the mandatory requirement holds.
+        let mut content = io::format_topology(&topology);
+        content.push_str(&format!(
+            "# algo = {algo}, edges = {}, preserves connectivity = {}\n",
+            topology.num_edges(),
+            topology.preserves_connectivity_of(&udg)
+        ));
+        let _s = rim_obs::span("write");
+        write_out(&out, &content)
+    })();
+    // The report goes to stderr so `--out -` topology output stays
+    // machine-readable on stdout.
+    emit_obs(mode, rec);
     result
 }
 
 /// `rim analyze` — interference report for a topology.
 pub fn analyze(args: &Args) -> Result<(), UsageError> {
-    let nodes = load_nodes(args)?;
-    let topology = load_topology(args, &nodes)?;
     let engine: Engine = args.opt_parse("engine", Engine::Auto)?;
+    let mode = obs_mode(args)?;
+    let rec = obs_install(mode);
+    let root = rim_obs::span("analyze");
+    let nodes = {
+        let _s = rim_obs::span("load");
+        load_nodes(args)?
+    };
+    let topology = load_topology(args, &nodes)?;
     args.finish()?;
-    let udg = unit_disk_graph(&nodes);
+    let udg = {
+        let _s = rim_obs::span("udg");
+        unit_disk_graph(&nodes)
+    };
     let summary = InterferenceSummary::with_engine(&topology, engine);
+    drop(root);
+    emit_obs(mode, rec);
     println!("nodes:                    {}", nodes.len());
     println!("interference engine:      {}", engine.name());
     println!("udg edges / max degree:   {} / {}", udg.num_edges(), udg.max_degree());
@@ -233,7 +289,9 @@ pub fn simulate(args: &Args) -> Result<(), UsageError> {
         "aloha" => MacConfig::aloha(),
         other => return Err(UsageError(format!("unknown --mac {other}"))),
     };
+    let mode = obs_mode(args)?;
     args.finish()?;
+    let rec = obs_install(mode);
     let cfg = SimConfig {
         slots,
         mac,
@@ -241,7 +299,11 @@ pub fn simulate(args: &Args) -> Result<(), UsageError> {
         alpha: 2.0,
         seed,
     };
-    let m = Simulator::new(topology, cfg).run();
+    let m = {
+        let _root = rim_obs::span("simulate");
+        Simulator::new(topology, cfg).run()
+    };
+    emit_obs(mode, rec);
     println!("generated:              {}", m.generated);
     println!("delivered:              {}", m.delivered);
     println!("delivery ratio:         {:.4}", m.delivery_ratio());

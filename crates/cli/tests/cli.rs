@@ -327,3 +327,73 @@ fn unknown_flags_are_rejected() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--bogus"));
 }
+
+#[test]
+fn analyze_obs_jsonl_emits_spans_and_counters() {
+    // The ISSUE acceptance scenario: a 4096-node uniform instance
+    // analyzed with `--obs jsonl` must emit spans and counters covering
+    // index build, engine dispatch, and disk queries — all on stderr,
+    // with the human report untouched on stdout.
+    let dir = tmp_dir("analyze_obs");
+    let nodes = dir.join("nodes.txt");
+    let topo = dir.join("topo.txt");
+
+    let out = rim()
+        .args(["generate", "--kind", "uniform-square", "--n", "4096", "--side", "32",
+               "--seed", "7", "--out"])
+        .arg(&nodes)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = rim()
+        .args(["control", "--algo", "gg", "--nodes"])
+        .arg(&nodes)
+        .arg("--out")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = rim()
+        .args(["analyze", "--engine", "indexed", "--obs", "jsonl", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let err = String::from_utf8(out.stderr).unwrap();
+    for needle in [
+        "\"kind\":\"meta\"",
+        "\"kind\":\"span\"",          // spans present at all
+        "\"name\":\"analyze\"",       // CLI root span
+        "interference/index_build",   // spatial index construction
+        "interference/indexed",       // engine dispatch
+        "\"kind\":\"counter\"",
+        "core.disk_queries",          // one per receiver in the kernel
+    ] {
+        assert!(err.contains(needle), "missing {needle} in --obs jsonl output:\n{err}");
+    }
+    // Every emitted line is an object; none of it leaks onto stdout.
+    assert!(err.lines().all(|l| l.starts_with('{') && l.ends_with('}')), "{err}");
+    let stdout = String::from_utf8(out.stdout).unwrap();
+    assert!(stdout.contains("receiver interference I:"));
+    assert!(!stdout.contains("\"kind\""), "{stdout}");
+}
+
+#[test]
+fn obs_rejects_unknown_mode() {
+    let dir = tmp_dir("obs_bad_mode");
+    let nodes = dir.join("nodes.txt");
+    std::fs::write(&nodes, "0.0\n0.4\n").unwrap();
+    let out = rim()
+        .args(["analyze", "--obs", "verbose", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&nodes)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --obs mode"));
+}

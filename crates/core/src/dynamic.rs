@@ -130,6 +130,7 @@ impl DynamicInterference {
         if !self.graph.add_edge(u, v, d) {
             return false;
         }
+        rim_obs::counter_add("dynamic.edge_inserts", 1);
         self.set_radius(u, self.radii[u].max(d));
         self.set_radius(v, self.radii[v].max(d));
         true
@@ -140,6 +141,7 @@ impl DynamicInterference {
         if !self.graph.remove_edge(u, v) {
             return false;
         }
+        rim_obs::counter_add("dynamic.edge_removes", 1);
         let ru = self.graph.max_incident_weight(u).unwrap_or(0.0);
         let rv = self.graph.max_incident_weight(v).unwrap_or(0.0);
         self.set_radius(u, ru);
@@ -156,6 +158,7 @@ impl DynamicInterference {
     /// The spatial index absorbs the node lazily — see the module docs.
     pub fn insert_node(&mut self, p: Point) -> usize {
         assert!(p.is_finite(), "node positions must be finite");
+        rim_obs::counter_add("dynamic.node_inserts", 1);
         let v = self.graph.add_vertex();
         self.points.push(p);
         self.radii.push(0.0);
@@ -195,6 +198,7 @@ impl DynamicInterference {
     fn maybe_rebuild_index(&mut self) {
         let pending = self.points.len() - self.indexed_len;
         if pending > (self.indexed_len / 2).max(64) {
+            rim_obs::counter_add("dynamic.index_rebuilds", 1);
             self.index = SpatialIndex::build(&self.points, initial_cell_hint(&self.points));
             self.indexed_len = self.points.len();
             // Re-tighten the radius bound to the exact maximum while we
@@ -265,10 +269,12 @@ impl DynamicInterference {
             (false, false) => return, // silent before and after: no disk at all
         };
         let mut deltas: Vec<(usize, usize, usize)> = Vec::new();
+        let mut affected = 0u64;
         self.for_each_candidate(pu, query_r, |w, d| {
             if w == u {
                 return;
             }
+            affected += 1;
             let before = was_tx && d <= old_r;
             let after = is_tx && d <= new_r;
             if before != after {
@@ -277,6 +283,12 @@ impl DynamicInterference {
                 deltas.push((w, old_c, new_c));
             }
         });
+        if rim_obs::active() {
+            // affected = candidates the symmetric-difference query visited;
+            // patch_size = nodes whose coverage actually changed.
+            rim_obs::record("dynamic.affected_candidates", affected);
+            rim_obs::record("dynamic.patch_size", deltas.len() as u64);
+        }
         for (w, old_c, new_c) in deltas {
             self.cov[w] = new_c as u32;
             self.histogram_move(old_c, new_c);

@@ -146,6 +146,7 @@ pub fn interference_vector_naive(t: &Topology) -> Vec<usize> {
 /// other layers computing coverage relations (e.g. the simulator's PHY
 /// tables) share the same heuristic.
 pub fn build_index(t: &Topology) -> SpatialIndex {
+    let _span = rim_obs::span("interference/index_build");
     let mut radii: Vec<f64> = t.radii().iter().copied().filter(|&r| r > 0.0).collect();
     let hint = if radii.is_empty() {
         1.0 // edgeless: nobody transmits, any index shape works
@@ -156,17 +157,21 @@ pub fn build_index(t: &Topology) -> SpatialIndex {
     SpatialIndex::build(t.nodes().points(), hint)
 }
 
-/// Scatters sender `u`'s coverage contribution into `out` via `index`.
+/// Scatters sender `u`'s coverage contribution into `out` via `index`,
+/// returning the number of disk queries issued (0 for silent nodes, 1
+/// for transmitters) so the kernels can report query totals in one
+/// counter update per batch.
 #[inline]
-fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [usize]) {
+fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [usize]) -> u64 {
     if t.graph().degree(u) == 0 {
-        return; // isolated nodes transmit nothing
+        return 0; // isolated nodes transmit nothing
     }
     index.for_each_in_disk(t.nodes().pos(u), t.radius(u), |v| {
         if v != u {
             out[v] += 1;
         }
     });
+    1
 }
 
 /// Indexed kernel: one closed-disk range query per transmitter, expected
@@ -178,9 +183,11 @@ fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [usize
 fn interference_vector_indexed(t: &Topology, index: &SpatialIndex) -> Vec<usize> {
     let n = t.num_nodes();
     let mut out = vec![0usize; n];
+    let mut queries = 0u64;
     for u in 0..n {
-        scatter_sender(t, index, u, &mut out);
+        queries += scatter_sender(t, index, u, &mut out);
     }
+    rim_obs::counter_add("core.disk_queries", queries);
     out
 }
 
@@ -196,9 +203,13 @@ fn interference_vector_parallel(t: &Topology, index: &SpatialIndex) -> Vec<usize
     }
     let partials = par_map_ranges(n, chunks, |range| {
         let mut local = vec![0usize; n];
+        let mut queries = 0u64;
         for u in range {
-            scatter_sender(t, index, u, &mut local);
+            queries += scatter_sender(t, index, u, &mut local);
         }
+        // One counter update per chunk, not per query: the shared-sink
+        // cost stays O(chunks) however large the instance.
+        rim_obs::counter_add("core.disk_queries", queries);
         local
     });
     let mut out = vec![0usize; n];
@@ -217,7 +228,13 @@ pub fn interference_vector_with(t: &Topology, engine: Engine) -> Vec<usize> {
     if n == 0 {
         return Vec::new();
     }
-    match engine.resolve(n) {
+    let resolved = engine.resolve(n);
+    let _span = rim_obs::span(match resolved {
+        Engine::Naive => "interference/naive",
+        Engine::Indexed => "interference/indexed",
+        Engine::Parallel | Engine::Auto => "interference/parallel",
+    });
+    match resolved {
         Engine::Naive => interference_vector_naive(t),
         Engine::Indexed => interference_vector_indexed(t, &build_index(t)),
         Engine::Parallel | Engine::Auto => interference_vector_parallel(t, &build_index(t)),

@@ -147,8 +147,18 @@ impl UniformGrid {
     /// Membership uses the distance-level predicate `|p - c| <= r` (not
     /// squared), so a radius copied from a [`Point::dist`] result keeps
     /// the boundary point inside — the exactness policy of this crate.
-    pub fn for_each_in_disk<F: FnMut(usize)>(&self, c: Point, r: f64, mut f: F) {
+    pub fn for_each_in_disk<F: FnMut(usize)>(&self, c: Point, r: f64, f: F) {
+        self.for_each_in_disk_counting(c, r, f);
+    }
+
+    /// Like [`Self::for_each_in_disk`], additionally returning the number
+    /// of candidate points scanned (bucket occupants tested against the
+    /// distance predicate, whether or not they passed) — the
+    /// output-sensitivity signal the observability layer reports per
+    /// query.
+    pub fn for_each_in_disk_counting<F: FnMut(usize)>(&self, c: Point, r: f64, mut f: F) -> usize {
         debug_assert!(r >= 0.0);
+        let mut candidates = 0usize;
         // One extra cell of margin on every side: `c.x + r` rounds to
         // nearest and can land *below* the coordinate of a point at
         // distance exactly `r` (e.g. 0.2 + 0.7 rounds down), which would
@@ -165,13 +175,14 @@ impl UniformGrid {
         let cy0 = y0.max(0.0) as usize;
         let cy1 = (y1.max(-1.0) as isize).min(self.ny as isize - 1);
         if cx1 < cx0 as isize || cy1 < cy0 as isize {
-            return;
+            return candidates;
         }
         for cy in cy0..=(cy1 as usize) {
             for cx in cx0..=(cx1 as usize) {
                 let cidx = cy * self.nx + cx;
                 let lo = self.starts[cidx] as usize;
                 let hi = self.starts[cidx + 1] as usize;
+                candidates += hi - lo;
                 for &i in &self.items[lo..hi] {
                     if self.points[i as usize].dist(&c) <= r {
                         f(i as usize);
@@ -179,6 +190,17 @@ impl UniformGrid {
                 }
             }
         }
+        candidates
+    }
+
+    /// Occupancy of every non-empty bucket, in cell order — the cell
+    /// occupancy distribution the observability layer histograms at build
+    /// time.
+    pub fn nonempty_bucket_sizes(&self) -> impl Iterator<Item = usize> + '_ {
+        self.starts
+            .windows(2)
+            .map(|w| (w[1] - w[0]) as usize)
+            .filter(|&occ| occ > 0)
     }
 
     /// Collects the indices of all points within distance `r` of `c`.
@@ -438,5 +460,21 @@ mod tests {
         let mut got = grid.query_disk(Point::on_line(0.5), 0.1);
         got.sort_unstable();
         assert_eq!(got, brute_disk(&pts, Point::on_line(0.5), 0.1));
+    }
+
+    #[test]
+    fn candidate_count_bounds_the_hits() {
+        let pts: Vec<Point> = (0..100)
+            .map(|i| Point::new((i % 10) as f64 * 0.1, (i / 10) as f64 * 0.1))
+            .collect();
+        let grid = UniformGrid::build(&pts, 0.2);
+        let mut hits = 0usize;
+        let candidates = grid.for_each_in_disk_counting(Point::new(0.5, 0.5), 0.25, |_| hits += 1);
+        assert!(hits > 0);
+        assert!(candidates >= hits, "candidates={candidates} hits={hits}");
+        assert!(candidates <= pts.len());
+        // Bucket occupancies partition the point set.
+        assert_eq!(grid.nonempty_bucket_sizes().sum::<usize>(), pts.len());
+        assert!(grid.nonempty_bucket_sizes().all(|occ| occ > 0));
     }
 }

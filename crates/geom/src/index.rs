@@ -56,10 +56,18 @@ impl SpatialIndex {
                 ((bbox.width() / cell_hint).floor() + 1.0) * ((bbox.height() / cell_hint).floor() + 1.0);
             let budget = (8 * points.len() + 1024) as f64;
             if cells > budget * GRID_DISTORTION_LIMIT {
+                rim_obs::counter_add("geom.index.kd_builds", 1);
                 return SpatialIndex::Kd(KdTree::build(points));
             }
         }
-        SpatialIndex::Grid(UniformGrid::build(points, cell_hint))
+        rim_obs::counter_add("geom.index.grid_builds", 1);
+        let grid = UniformGrid::build(points, cell_hint);
+        if rim_obs::active() {
+            for occ in grid.nonempty_bucket_sizes() {
+                rim_obs::record("geom.grid.cell_occupancy", occ as u64);
+            }
+        }
+        SpatialIndex::Grid(grid)
     }
 
     /// Number of indexed points.
@@ -80,8 +88,32 @@ impl SpatialIndex {
     /// Calls `f(i)` for every point index `i` with `dist(points[i], c) <= r`
     /// (closed disk, distance-level comparison). Visit order depends on the
     /// backend; callers needing determinism must sort.
+    ///
+    /// When an observability sink is active, each query records its hit
+    /// count (and, on the grid backend, the candidate count — occupants
+    /// scanned before the distance predicate) as histograms; the enabled
+    /// check is a single atomic load, so the disabled path stays on the
+    /// plain dispatch below.
     #[inline]
-    pub fn for_each_in_disk<F: FnMut(usize)>(&self, c: Point, r: f64, f: F) {
+    pub fn for_each_in_disk<F: FnMut(usize)>(&self, c: Point, r: f64, mut f: F) {
+        if rim_obs::active() {
+            let mut hits = 0u64;
+            match self {
+                SpatialIndex::Grid(g) => {
+                    let candidates = g.for_each_in_disk_counting(c, r, |i| {
+                        hits += 1;
+                        f(i);
+                    });
+                    rim_obs::record("geom.index.query_candidates", candidates as u64);
+                }
+                SpatialIndex::Kd(t) => t.for_each_in_disk(c, r, |i| {
+                    hits += 1;
+                    f(i);
+                }),
+            }
+            rim_obs::record("geom.index.query_hits", hits);
+            return;
+        }
         match self {
             SpatialIndex::Grid(g) => g.for_each_in_disk(c, r, f),
             SpatialIndex::Kd(t) => t.for_each_in_disk(c, r, f),

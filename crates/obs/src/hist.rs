@@ -1,0 +1,195 @@
+//! Fixed-bucket log-scale histogram.
+//!
+//! Values land in power-of-two buckets: bucket `i` covers `[2^i, 2^(i+1))`.
+//! Zero goes to a dedicated underflow bucket and anything at or above
+//! `2^LOG2_BUCKETS` to an overflow bucket, so the bucket array stays a
+//! fixed 40 slots regardless of the value range — recording is O(1) with
+//! no allocation, which keeps the enabled path cheap inside kernels.
+
+/// Number of power-of-two buckets; values in `[1, 2^LOG2_BUCKETS)` are
+/// bucketed exactly, larger ones fall into the overflow bucket.
+pub const LOG2_BUCKETS: usize = 40;
+
+/// A log2-bucketed histogram of `u64` samples.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Total number of recorded samples (including under/overflow).
+    pub count: u64,
+    /// Saturating sum of all recorded samples.
+    pub sum: u64,
+    /// Largest recorded sample; 0 when empty.
+    pub max: u64,
+    /// Samples equal to zero.
+    pub underflow: u64,
+    /// Samples at or above `2^LOG2_BUCKETS`.
+    pub overflow: u64,
+    buckets: [u64; LOG2_BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            max: 0,
+            underflow: 0,
+            overflow: 0,
+            buckets: [0; LOG2_BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The bucket a non-zero, non-overflowing value lands in; `None` for
+    /// zero (underflow) and values at or above `2^LOG2_BUCKETS`
+    /// (overflow).
+    pub fn bucket_index(value: u64) -> Option<usize> {
+        if value == 0 {
+            return None;
+        }
+        let idx = 63 - value.leading_zeros() as usize;
+        (idx < LOG2_BUCKETS).then_some(idx)
+    }
+
+    /// Half-open value range `[lo, hi)` covered by bucket `i`.
+    pub fn bucket_range(i: usize) -> (u64, u64) {
+        (1u64 << i, 1u64 << (i + 1))
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.max = self.max.max(value);
+        match Self::bucket_index(value) {
+            Some(i) => self.buckets[i] += 1,
+            None if value == 0 => self.underflow += 1,
+            None => self.overflow += 1,
+        }
+    }
+
+    /// Count in bucket `i`; 0 for out-of-range indices.
+    pub fn bucket_count(&self, i: usize) -> u64 {
+        self.buckets.get(i).copied().unwrap_or(0)
+    }
+
+    /// All regular buckets in index order.
+    pub fn buckets(&self) -> &[u64] {
+        &self.buckets
+    }
+
+    /// Non-empty regular buckets as `(index, count)` pairs.
+    pub fn nonempty_buckets(&self) -> Vec<(usize, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (i, c))
+            .collect()
+    }
+
+    /// Folds `other` into `self`. Merging is commutative and associative,
+    /// so per-thread histograms can be combined in any order.
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.max = self.max.max(other.max);
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_log2_edges() {
+        // 1 is the sole occupant of bucket 0; 2 and 3 share bucket 1.
+        assert_eq!(Histogram::bucket_index(1), Some(0));
+        assert_eq!(Histogram::bucket_index(2), Some(1));
+        assert_eq!(Histogram::bucket_index(3), Some(1));
+        assert_eq!(Histogram::bucket_index(4), Some(2));
+        // Every power of two opens its own bucket; its predecessor closes
+        // the previous one.
+        for k in 1..LOG2_BUCKETS {
+            let lo = 1u64 << k;
+            assert_eq!(Histogram::bucket_index(lo), Some(k), "2^{k}");
+            assert_eq!(Histogram::bucket_index(lo - 1), Some(k - 1), "2^{k}-1");
+            let (range_lo, range_hi) = Histogram::bucket_range(k);
+            assert_eq!(range_lo, lo);
+            assert_eq!(range_hi, lo << 1);
+        }
+    }
+
+    #[test]
+    fn underflow_and_overflow_buckets() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(1u64 << LOG2_BUCKETS); // first overflowing value
+        h.record((1u64 << LOG2_BUCKETS) - 1); // last regular value
+        h.record(u64::MAX);
+        assert_eq!(h.underflow, 1);
+        assert_eq!(h.overflow, 2);
+        assert_eq!(h.bucket_count(LOG2_BUCKETS - 1), 1);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.max, u64::MAX);
+        assert_eq!(Histogram::bucket_index(0), None);
+        assert_eq!(Histogram::bucket_index(u64::MAX), None);
+    }
+
+    #[test]
+    fn sum_saturates_instead_of_wrapping() {
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(u64::MAX);
+        assert_eq!(h.sum, u64::MAX);
+        assert_eq!(h.count, 2);
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let mk = |vals: &[u64]| {
+            let mut h = Histogram::new();
+            for &v in vals {
+                h.record(v);
+            }
+            h
+        };
+        let a = mk(&[0, 1, 5, 1 << 20]);
+        let b = mk(&[3, 3, u64::MAX]);
+        let c = mk(&[7, 0, 2]);
+
+        // (a + b) + c == a + (b + c)
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        assert_eq!(left, right);
+
+        // a + b == b + a
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+
+        // Merge equals recording the concatenation.
+        let all = mk(&[0, 1, 5, 1 << 20, 3, 3, u64::MAX, 7, 0, 2]);
+        let mut acc = a;
+        acc.merge(&b);
+        acc.merge(&c);
+        assert_eq!(acc, all);
+    }
+}

@@ -1,0 +1,183 @@
+//! `rim-obs` — the workspace's zero-dependency observability layer.
+//!
+//! Library crates call the free functions in this module ([`counter_add`],
+//! [`record`], [`span`]) unconditionally; they compile down to an atomic
+//! load and a branch while no sink is installed, so instrumentation never
+//! taxes library users (`crates/core/tests/obs_overhead.rs` holds the
+//! disabled path under 5% of the 4096-node interference kernel). Only the
+//! CLI and the bench harness may enable collection by calling
+//! [`install_recorder`] — the `obs-no-op-default` lint-gate audit enforces
+//! this split, so a library crate can depend on `rim-obs` without ever
+//! turning it on.
+//!
+//! Three primitives cover the workspace's needs:
+//!
+//! * **Spans** — hierarchical wall-time regions ([`span`] returns an RAII
+//!   guard; nesting is tracked per thread, so worker-thread spans root
+//!   themselves without locks).
+//! * **Counters** — named monotonic `u64` sums ([`counter_add`]).
+//! * **Histograms** — log2-bucketed value distributions ([`record`]),
+//!   see [`hist::Histogram`].
+//!
+//! The enabled sink is [`recorder::Recorder`], a sharded mutex registry
+//! reusing the per-slot-lock discipline of `rim-par`; snapshots export as
+//! a human-readable tree or JSONL (see [`recorder::Snapshot`]).
+
+#![forbid(unsafe_code)]
+
+pub mod hist;
+pub mod recorder;
+pub mod report;
+
+pub use hist::Histogram;
+pub use recorder::{Recorder, Snapshot, SpanRecord};
+
+use std::sync::OnceLock;
+
+/// Opaque handle for an open span, produced by [`ObsSink::span_enter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanId(usize);
+
+impl SpanId {
+    /// Sentinel for "no span recorded" (disabled sink, no-op sink).
+    pub const NONE: SpanId = SpanId(usize::MAX);
+
+    pub(crate) fn new(index: usize) -> SpanId {
+        SpanId(index)
+    }
+
+    /// Arena index of the span, or `None` for the [`SpanId::NONE`]
+    /// sentinel.
+    pub fn index(self) -> Option<usize> {
+        (self.0 != usize::MAX).then_some(self.0)
+    }
+}
+
+/// Destination for observability events. Implementations must be cheap
+/// and non-blocking enough to sit on hot paths; the two in-repo ones are
+/// [`NoopSink`] and [`Recorder`].
+pub trait ObsSink: Send + Sync {
+    /// Adds `delta` to the named monotonic counter.
+    fn counter_add(&self, name: &'static str, delta: u64);
+    /// Records one sample into the named histogram.
+    fn record_value(&self, name: &'static str, value: u64);
+    /// Opens a span; the returned id must later be passed to
+    /// [`ObsSink::span_exit`].
+    fn span_enter(&self, name: &'static str) -> SpanId;
+    /// Closes a previously opened span.
+    fn span_exit(&self, id: SpanId);
+}
+
+/// Sink that drops everything — the behaviour every library crate gets
+/// by default (no sink installed is equivalent to this sink).
+pub struct NoopSink;
+
+impl ObsSink for NoopSink {
+    fn counter_add(&self, _name: &'static str, _delta: u64) {}
+    fn record_value(&self, _name: &'static str, _value: u64) {}
+    fn span_enter(&self, _name: &'static str) -> SpanId {
+        SpanId::NONE
+    }
+    fn span_exit(&self, _id: SpanId) {}
+}
+
+static SINK: OnceLock<&'static dyn ObsSink> = OnceLock::new();
+static RECORDER: OnceLock<Recorder> = OnceLock::new();
+
+/// Installs `sink` as the process-wide sink. The first installation wins
+/// and is permanent for the life of the process; returns `false` when a
+/// sink was already installed.
+pub fn install(sink: &'static dyn ObsSink) -> bool {
+    SINK.set(sink).is_ok()
+}
+
+/// Installs (idempotently) the process-wide [`Recorder`] and returns it.
+/// Only the CLI and the bench harness may call this — library crates are
+/// held to the no-op default by the `obs-no-op-default` lint audit.
+pub fn install_recorder() -> &'static Recorder {
+    let rec = RECORDER.get_or_init(Recorder::new);
+    let _ = SINK.set(rec);
+    rec
+}
+
+/// The installed recorder, if [`install_recorder`] has run.
+pub fn global() -> Option<&'static Recorder> {
+    RECORDER.get()
+}
+
+/// Whether an enabled sink is installed. Kernels batching per-item work
+/// (e.g. per-query candidate counts) branch on this once instead of
+/// paying a call per item.
+#[inline]
+pub fn active() -> bool {
+    SINK.get().is_some()
+}
+
+#[inline]
+fn sink() -> Option<&'static dyn ObsSink> {
+    SINK.get().copied()
+}
+
+/// Adds `delta` to the named counter (no-op while disabled).
+#[inline]
+pub fn counter_add(name: &'static str, delta: u64) {
+    if let Some(s) = sink() {
+        s.counter_add(name, delta);
+    }
+}
+
+/// Records one histogram sample (no-op while disabled).
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    if let Some(s) = sink() {
+        s.record_value(name, value);
+    }
+}
+
+/// RAII guard returned by [`span`]; exits the span on drop.
+pub struct SpanGuard {
+    id: SpanId,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if self.id != SpanId::NONE {
+            if let Some(s) = sink() {
+                s.span_exit(self.id);
+            }
+        }
+    }
+}
+
+/// Opens a named span ending when the returned guard drops (inert while
+/// disabled). Bind the guard — `let _span = rim_obs::span("phase");` — so
+/// it lives to the end of the scope.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    match sink() {
+        Some(s) => SpanGuard { id: s.span_enter(name) },
+        None => SpanGuard { id: SpanId::NONE },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn noop_sink_returns_the_sentinel() {
+        let s = NoopSink;
+        s.counter_add("x", 1);
+        s.record_value("x", 1);
+        let id = s.span_enter("x");
+        assert_eq!(id, SpanId::NONE);
+        assert_eq!(id.index(), None);
+        s.span_exit(id);
+    }
+
+    #[test]
+    fn span_ids_expose_their_arena_index() {
+        assert_eq!(SpanId::new(3).index(), Some(3));
+        assert_eq!(SpanId::NONE.index(), None);
+    }
+}

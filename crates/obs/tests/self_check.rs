@@ -1,0 +1,83 @@
+//! Global-sink behaviour of `rim-obs`, exercised in its own process
+//! (the installed sink is process-wide and permanent, so these tests
+//! share one recorder and only ever measure deltas).
+
+use rim_obs::{Histogram, Snapshot};
+
+fn counter(name: &str) -> u64 {
+    rim_obs::global().map(|r| r.counter(name)).unwrap_or(0)
+}
+
+#[test]
+fn disabled_then_installed_lifecycle() {
+    // All tests in this binary run concurrently against one global, so
+    // drive the lifecycle from a single test body.
+
+    // Before installation everything is inert.
+    if !rim_obs::active() {
+        rim_obs::counter_add("self.pre_install", 5);
+        let g = rim_obs::span("self.pre_install_span");
+        drop(g);
+    }
+
+    let rec = rim_obs::install_recorder();
+    assert!(rim_obs::active());
+    assert!(std::ptr::eq(rec, rim_obs::install_recorder()), "install is idempotent");
+    assert!(std::ptr::eq(rec, rim_obs::global().unwrap()));
+    // Nothing from before installation leaked in.
+    assert_eq!(counter("self.pre_install"), 0);
+    assert!(rec.snapshot().spans.iter().all(|s| s.name != "self.pre_install_span"));
+
+    // Counters accumulate through the free functions now.
+    rim_obs::counter_add("self.hits", 2);
+    rim_obs::counter_add("self.hits", 3);
+    assert_eq!(counter("self.hits"), 5);
+
+    // Counter merging across threads is associative: total is the sum
+    // regardless of interleaving.
+    std::thread::scope(|s| {
+        for _ in 0..4 {
+            s.spawn(|| {
+                for _ in 0..250 {
+                    rim_obs::counter_add("self.threaded", 1);
+                }
+            });
+        }
+    });
+    assert_eq!(counter("self.threaded"), 1000);
+
+    // Span tree well-formedness: guards exit in reverse entry order.
+    {
+        let _outer = rim_obs::span("self.outer");
+        let _inner = rim_obs::span("self.inner");
+        rim_obs::record("self.depth", 2);
+    }
+    let snap = rec.snapshot();
+    assert_eq!(snap.mismatched_exits, 0);
+    let outer_idx = snap.spans.iter().position(|s| s.name == "self.outer").unwrap();
+    let inner = snap.spans.iter().find(|s| s.name == "self.inner").unwrap();
+    assert_eq!(inner.parent, Some(outer_idx));
+    assert!(inner.wall_ns.is_some());
+
+    // The installed-path snapshot round-trips through JSONL.
+    let back = Snapshot::from_jsonl(&snap.to_jsonl()).unwrap();
+    assert_eq!(back, snap);
+}
+
+#[test]
+fn histogram_edges_via_the_free_function() {
+    rim_obs::install_recorder();
+    for v in [0u64, 1, 2, 3, 4, 1 << 39, u64::MAX] {
+        rim_obs::record("self.hist_edges", v);
+    }
+    let snap = rim_obs::global().unwrap().snapshot();
+    let h = &snap.histograms["self.hist_edges"];
+    assert_eq!(h.underflow, 1);
+    assert_eq!(h.overflow, 1);
+    assert_eq!(h.bucket_count(0), 1); // 1
+    assert_eq!(h.bucket_count(1), 2); // 2, 3
+    assert_eq!(h.bucket_count(2), 1); // 4
+    assert_eq!(h.bucket_count(39), 1); // 2^39
+    assert_eq!(h.count, 7);
+    assert_eq!(Histogram::bucket_range(1), (2, 4));
+}

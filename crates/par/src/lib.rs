@@ -57,6 +57,7 @@ where
     if chunks == 1 {
         return vec![work(0..n)];
     }
+    rim_obs::counter_add("par.scatter_chunks", chunks as u64);
     let base = n / chunks;
     let extra = n % chunks;
     let bounds: Vec<Range<usize>> = (0..chunks)
@@ -116,16 +117,27 @@ where
     let cursor = AtomicUsize::new(0);
     std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = cursor.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
+            scope.spawn(|| {
+                let mut claimed = 0u64;
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    claimed += 1;
+                    let item = relock(input[i].lock()).take();
+                    if let Some(p) = item {
+                        let r = f(p);
+                        *relock(output[i].lock()) = Some(r);
+                    }
                 }
-                let item = relock(input[i].lock()).take();
-                if let Some(p) = item {
-                    let r = f(p);
-                    *relock(output[i].lock()) = Some(r);
-                }
+                // Per-worker load: the spread of this histogram is the
+                // balance signal for the dynamic self-scheduler. Every
+                // worker also exits through exactly one wasted cursor
+                // claim (the `i >= n` overshoot), so the counter is a
+                // proxy for end-of-queue cursor contention.
+                rim_obs::record("par.tasks_per_worker", claimed);
+                rim_obs::counter_add("par.cursor_overshoot", 1);
             });
         }
     });

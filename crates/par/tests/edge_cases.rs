@@ -1,0 +1,121 @@
+//! Edge cases of the shared executor: empty input, single item, more
+//! threads/chunks than items, and wildly unequal per-item cost. Both
+//! primitives must preserve input order and terminate (no deadlock) in
+//! every configuration; the property layer drives the shapes through
+//! `rim_rng::prop`.
+
+use rim_par::{num_threads, par_map_ranges, parallel_map};
+use rim_rng::prop::check;
+use rim_rng::{prop_ensure, prop_ensure_eq, SmallRng};
+
+#[test]
+fn empty_input_terminates_immediately() {
+    assert_eq!(par_map_ranges(0, 8, |r| r.collect::<Vec<usize>>()), vec![vec![]]);
+    assert_eq!(parallel_map(Vec::<u32>::new(), |x| x * 2), Vec::<u32>::new());
+}
+
+#[test]
+fn single_item_with_many_workers() {
+    // chunks/threads far beyond the item count must clamp, not hang.
+    assert_eq!(par_map_ranges(1, 64, |r| r.sum::<usize>()), vec![0]);
+    assert_eq!(parallel_map(vec![41u64], |x| x + 1), vec![42]);
+}
+
+#[test]
+fn more_chunks_than_items_covers_each_index_once() {
+    for n in 1..=5usize {
+        let ranges = par_map_ranges(n, 1000, |r| r.collect::<Vec<_>>());
+        let flat: Vec<usize> = ranges.concat();
+        assert_eq!(flat, (0..n).collect::<Vec<_>>(), "n={n}");
+    }
+}
+
+/// Burns CPU proportionally to `cost` and returns a value derived from
+/// the input, so reordered results cannot cancel out.
+fn spin(seed: u64, cost: u64) -> u64 {
+    let mut acc = seed;
+    for i in 0..cost {
+        acc = acc.wrapping_mul(6364136223846793005).wrapping_add(i);
+    }
+    acc
+}
+
+#[test]
+fn prop_par_map_ranges_matches_sequential_under_any_split() {
+    check(
+        "par_map_ranges_matches_sequential_under_any_split",
+        96,
+        |rng: &mut SmallRng| {
+            let n = rng.gen_range(0usize..80);
+            let chunks = rng.gen_range(0usize..96); // 0 exercises the clamp
+            (n, chunks)
+        },
+        |&(n, chunks)| {
+            let flat: Vec<u64> =
+                par_map_ranges(n, chunks, |r| r.map(|i| spin(i as u64, 3)).collect::<Vec<_>>())
+                    .concat();
+            let want: Vec<u64> = (0..n).map(|i| spin(i as u64, 3)).collect();
+            prop_ensure_eq!(flat, want);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_parallel_map_preserves_order_under_unequal_cost() {
+    check(
+        "parallel_map_preserves_order_under_unequal_cost",
+        48,
+        |rng: &mut SmallRng| {
+            let n = rng.gen_range(1usize..64);
+            // A few items cost thousands of times more than the rest, so
+            // fast workers finish whole stretches while one worker is
+            // stuck — the stress shape for order preservation.
+            (0..n)
+                .map(|_| if rng.gen_range(0u32..8) == 0 { rng.gen_range(20_000u64..100_000) } else { rng.gen_range(1u64..20) })
+                .collect::<Vec<u64>>()
+        },
+        |costs| {
+            let items: Vec<(usize, u64)> = costs.iter().copied().enumerate().collect();
+            let got = parallel_map(items.clone(), |(i, cost)| (i, spin(i as u64, cost)));
+            let want: Vec<(usize, u64)> =
+                items.iter().map(|&(i, cost)| (i, spin(i as u64, cost))).collect();
+            prop_ensure_eq!(got, want);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn prop_ranges_partition_even_when_costs_differ() {
+    check(
+        "ranges_partition_even_when_costs_differ",
+        64,
+        |rng: &mut SmallRng| {
+            (rng.gen_range(1usize..200), rng.gen_range(1usize..16))
+        },
+        |&(n, chunks)| {
+            // Range i sleeps-spins proportionally to its position so the
+            // first and last workers finish far apart; results must still
+            // arrive in range order and partition 0..n exactly.
+            let ranges = par_map_ranges(n, chunks, |r| {
+                spin(r.start as u64, (r.start as u64 % 7) * 2_000);
+                r
+            });
+            let mut next = 0usize;
+            for r in &ranges {
+                prop_ensure_eq!(r.start, next);
+                prop_ensure!(r.end >= r.start, "empty or reversed range");
+                next = r.end;
+            }
+            prop_ensure_eq!(next, n);
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn num_threads_is_sane() {
+    let t = num_threads();
+    assert!((1..=1024).contains(&t), "num_threads() = {t}");
+}

@@ -61,6 +61,7 @@ impl Simulator {
     /// Prepares a simulator: precomputes coverage, routing tables, and —
     /// under [`MacConfig::Tdma`] — the conflict-free link schedule.
     pub fn new(topology: Topology, cfg: SimConfig) -> Self {
+        let _span = rim_obs::span("sim/prepare");
         let coverage = Coverage::of(&topology);
         let next_hop = routing_table(topology.graph());
         let tdma_frame = if matches!(cfg.mac, MacConfig::Tdma) {
@@ -90,6 +91,7 @@ impl Simulator {
 
     /// Runs the simulation and returns the accumulated metrics.
     pub fn run(&self) -> Metrics {
+        let _span = rim_obs::span("sim/run");
         let n = self.topology.num_nodes();
         let cfg = &self.cfg;
         let mut rng = SmallRng::seed_from_u64(cfg.seed);
@@ -138,15 +140,25 @@ impl Simulator {
             *next_id += 1;
         };
 
+        // Event accounting for the observability layer. The tallies are
+        // plain locals updated unconditionally (they cost an add) and
+        // flushed in O(1) counter updates after the loop, so enabling or
+        // disabling a sink cannot change what the simulation computes.
+        let obs_on = rim_obs::active();
+        let mut arrival_events = 0u64;
+        let mut transmission_events = 0u64;
+
         for now in 0..cfg.slots {
             // 1. Traffic arrivals.
             while let Some((_, flow_idx)) = arrivals.pop_due(now) {
+                arrival_events += 1;
                 let f = flows[flow_idx];
                 admit(f.src, f.dst, now, &self.next_hop, &mut queues, &mut metrics, &mut next_id);
                 arrivals.push(now + f.period, flow_idx);
             }
             if let TrafficConfig::Poisson { rate } = cfg.traffic {
                 if rng.gen::<f64>() < rate {
+                    arrival_events += 1;
                     let (src, dst) = random_pair(n, &mut rng);
                     admit(src, dst, now, &self.next_hop, &mut queues, &mut metrics, &mut next_id);
                 }
@@ -180,6 +192,7 @@ impl Simulator {
                 if !is_tx[u] {
                     continue;
                 }
+                transmission_events += 1;
                 // rim-lint: allow(no-unwrap-in-lib) — is_tx[u] implies a queued frame
                 let head = queues[u].front().expect("transmitter with empty queue");
                 let v = self.next_hop[u][head.pkt.dst];
@@ -210,7 +223,18 @@ impl Simulator {
             }
 
             std::mem::swap(&mut prev_tx, &mut is_tx);
+
+            // Aggregate queue depth per slot; the O(n) walk only runs
+            // with a sink installed.
+            if obs_on {
+                let depth: u64 = queues.iter().map(|q| q.len() as u64).sum();
+                rim_obs::record("sim.queue_depth", depth);
+            }
         }
+        rim_obs::counter_add("sim.slots", cfg.slots);
+        rim_obs::counter_add("sim.events", arrival_events + transmission_events);
+        rim_obs::counter_add("sim.arrival_events", arrival_events);
+        rim_obs::counter_add("sim.transmission_events", transmission_events);
         metrics
     }
 }

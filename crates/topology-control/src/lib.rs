@@ -135,6 +135,7 @@ impl Baseline {
     /// output on every engine — only speed differs); the remaining
     /// baselines have no engine-sensitive stage and ignore it.
     pub fn build_with(self, nodes: &NodeSet, udg: &AdjacencyList, engine: Engine) -> Topology {
+        let _span = rim_obs::span(self.name());
         match self {
             Baseline::Nnf => nnf::nearest_neighbor_forest(nodes, udg),
             Baseline::Emst => emst::euclidean_mst(nodes, udg),

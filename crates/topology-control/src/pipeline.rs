@@ -60,6 +60,7 @@ pub(crate) fn resolve(engine: Engine, n: usize) -> Engine {
 /// kd-tree on degenerate spreads exactly as the interference engine
 /// does.
 pub fn witness_index(nodes: &NodeSet, udg: &AdjacencyList) -> SpatialIndex {
+    let _span = rim_obs::span("control/witness_index");
     let mut lens: Vec<f64> = udg.edges().iter().map(|e| e.weight).collect();
     let hint = if lens.is_empty() {
         1.0 // edgeless UDG: nothing will be queried, any shape works
@@ -79,15 +80,20 @@ pub(crate) fn filter_edges<F>(n: usize, edges: &[Edge], threads: usize, keep: F)
 where
     F: Fn(&Edge) -> bool + Sync,
 {
+    let _span = rim_obs::span("control/filter_edges");
     let mask = rim_par::par_map_ranges(edges.len(), threads, |range| {
         range.map(|i| keep(&edges[i])).collect::<Vec<bool>>()
     });
     let mut g = AdjacencyList::new(n);
+    let mut kept_count = 0u64;
     for (e, kept) in edges.iter().zip(mask.into_iter().flatten()) {
         if kept {
+            kept_count += 1;
             g.add_edge(e.u, e.v, e.weight);
         }
     }
+    rim_obs::counter_add("control.edges_in", edges.len() as u64);
+    rim_obs::counter_add("control.edges_kept", kept_count);
     g
 }
 

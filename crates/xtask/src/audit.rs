@@ -439,6 +439,104 @@ fn audit_one_oracle(oracle: &str, members: &[Member], out: &mut Vec<Diagnostic>)
     }
 }
 
+/// Packages allowed to construct an enabled observability sink.
+/// Everything else may *record into* `rim-obs` (spans, counters,
+/// histograms are no-ops by default) but must never install a recorder
+/// from library code — otherwise merely linking a crate would silently
+/// turn instrumentation on for the whole process.
+pub const OBS_SINK_INSTALLERS: &[&str] = &["rim-cli", "rim-bench", "rim-obs"];
+
+/// Per-member audit: library code outside the installer allowlist must
+/// not call `rim_obs::install` / `rim_obs::install_recorder` (test
+/// modules and `tests/`/`benches/`/`examples/` files are free to — a
+/// test that asserts on counters has to enable them).
+pub fn audit_obs_noop_default(members: &[Member], out: &mut Vec<Diagnostic>) {
+    for member in members {
+        if OBS_SINK_INSTALLERS.contains(&member.manifest.package_name.as_str()) {
+            continue;
+        }
+        for (path, tokens, test_ranges) in &member.lib_sources {
+            let code: Vec<(usize, &Token)> = tokens
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+                .collect();
+            for (pos, &(idx, t)) in code.iter().enumerate() {
+                if test_ranges.iter().any(|&(s, e)| idx >= s && idx < e) {
+                    continue;
+                }
+                // `rim_obs::install(…)` / `rim_obs::install_recorder()`.
+                let qualified = t.kind == Kind::Ident
+                    && t.text == "rim_obs"
+                    && code.get(pos + 1).is_some_and(|&(_, b)| b.text == "::")
+                    && code.get(pos + 2).is_some_and(|&(_, c)| {
+                        c.kind == Kind::Ident
+                            && (c.text == "install" || c.text == "install_recorder")
+                    });
+                // A bare `install_recorder` (e.g. via `use rim_obs::…`)
+                // counts too, unless it is the path segment the
+                // qualified pattern already reported.
+                let bare = t.kind == Kind::Ident
+                    && t.text == "install_recorder"
+                    && !(pos >= 1 && code[pos - 1].1.text == "::");
+                if qualified || bare {
+                    out.push(Diagnostic {
+                        rule: "obs-no-op-default",
+                        file: path.clone(),
+                        line: t.line,
+                        message: format!(
+                            "`{}` constructs an enabled observability sink from library \
+                             code; only {:?} may install a recorder — everything else \
+                             must stay no-op by default",
+                            member.manifest.package_name, OBS_SINK_INSTALLERS
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// CLI end-to-end tests that must keep existing: the `--timing` →
+/// `--obs` migration is only safe while a test still drives per-stage
+/// timing output through the binary, and the `--obs jsonl` acceptance
+/// scenario must not quietly disappear either.
+pub const RETAINED_CLI_E2E: &[&str] = &[
+    "control_timing_reports_stages_on_stderr",
+    "analyze_obs_jsonl_emits_spans_and_counters",
+];
+
+/// Workspace-level audit: when the `rim-cli` package is present, its
+/// test sources must define every function named in
+/// [`RETAINED_CLI_E2E`]. Gated on the package so fixture workspaces
+/// stay silent.
+pub fn audit_retained_cli_e2e(members: &[Member], out: &mut Vec<Diagnostic>) {
+    let Some(cli) = members.iter().find(|m| m.manifest.package_name == "rim-cli") else {
+        return;
+    };
+    for name in RETAINED_CLI_E2E {
+        let defined = cli.test_sources.iter().any(|(_, tokens, _)| {
+            let code: Vec<&Token> = tokens
+                .iter()
+                .filter(|t| !matches!(t.kind, Kind::Comment | Kind::DocComment))
+                .collect();
+            code.windows(2)
+                .any(|w| w[0].text == "fn" && w[1].kind == Kind::Ident && w[1].text == *name)
+        });
+        if !defined {
+            out.push(Diagnostic {
+                rule: "stage-timing-e2e-retained",
+                file: cli.manifest_rel.clone(),
+                line: 1,
+                message: format!(
+                    "CLI e2e test `{name}` is gone; the per-stage timing/observability \
+                     output must keep an end-to-end test through the `rim` binary"
+                ),
+            });
+        }
+    }
+}
+
 /// Collects `.rs` files under `dir` (recursively), skipping build
 /// output, VCS metadata, and `fixtures` directories (lint-test inputs
 /// contain deliberate violations).
@@ -701,6 +799,118 @@ mod tests {
         for name in ["interference_vector_naive", "is_gabriel_edge_naive", "is_rng_edge_naive"] {
             assert!(RETAINED_ORACLES.contains(&name), "{name} missing");
         }
+    }
+
+    fn named_member(package: &str, lib_src: &str, test_src: Option<&str>) -> Member {
+        let mut m = member_with(&format!("[package]\nname = \"{package}\"\n"), lib_src);
+        if let Some(t) = test_src {
+            let (tokens, ranges) = rules::prepare(t);
+            m.test_sources = vec![("tests/e2e.rs".to_string(), tokens, ranges)];
+        }
+        m
+    }
+
+    #[test]
+    fn obs_audit_fires_on_library_install_and_clears_for_allowlisted() {
+        // A library crate installing a recorder from plain lib code.
+        let bad = named_member(
+            "rim-core",
+            "pub fn init() { rim_obs::install_recorder(); }\n",
+            None,
+        );
+        let mut out = Vec::new();
+        audit_obs_noop_default(&[bad], &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "obs-no-op-default");
+        assert!(out[0].message.contains("rim-core"));
+
+        // The raw `install` entry point counts too.
+        let bad = named_member(
+            "rim-sim",
+            "pub fn init() { rim_obs::install(&SINK); }\n",
+            None,
+        );
+        out.clear();
+        audit_obs_noop_default(&[bad], &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+
+        // Allowlisted packages may install.
+        for pkg in OBS_SINK_INSTALLERS {
+            let ok = named_member(pkg, "pub fn init() { rim_obs::install_recorder(); }\n", None);
+            out.clear();
+            audit_obs_noop_default(&[ok], &mut out);
+            assert!(out.is_empty(), "{pkg}: {out:#?}");
+        }
+    }
+
+    #[test]
+    fn obs_audit_permits_test_scope_installs() {
+        // #[cfg(test)] modules inside lib sources are test scope…
+        let in_mod = named_member(
+            "rim-core",
+            "#[cfg(test)]\nmod tests { fn t() { rim_obs::install_recorder(); } }\n",
+            None,
+        );
+        let mut out = Vec::new();
+        audit_obs_noop_default(&[in_mod], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+        // …and so are integration tests; recording alone is always fine.
+        let member = named_member(
+            "rim-core",
+            "pub fn f() { rim_obs::counter_add(\"x\", 1); }\n",
+            Some("fn t() { rim_obs::install_recorder(); }\n"),
+        );
+        out.clear();
+        audit_obs_noop_default(&[member], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn cli_e2e_audit_is_gated_on_the_cli_package() {
+        // No rim-cli member (fixture workspaces): silent.
+        let other = named_member("demo", "", None);
+        let mut out = Vec::new();
+        audit_retained_cli_e2e(&[other], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+    }
+
+    #[test]
+    fn cli_e2e_audit_requires_every_retained_test() {
+        // Only one of the two retained tests present: exactly one finding.
+        let cli = named_member(
+            "rim-cli",
+            "",
+            Some("#[test]\nfn control_timing_reports_stages_on_stderr() {}\n"),
+        );
+        let mut out = Vec::new();
+        audit_retained_cli_e2e(&[cli], &mut out);
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert_eq!(out[0].rule, "stage-timing-e2e-retained");
+        assert!(
+            out[0].message.contains("analyze_obs_jsonl_emits_spans_and_counters"),
+            "{}",
+            out[0].message
+        );
+        // Both present: silent. A doc-comment mention is not a definition.
+        let cli = named_member(
+            "rim-cli",
+            "",
+            Some(
+                "#[test]\nfn control_timing_reports_stages_on_stderr() {}\n\
+                 #[test]\nfn analyze_obs_jsonl_emits_spans_and_counters() {}\n",
+            ),
+        );
+        out.clear();
+        audit_retained_cli_e2e(&[cli], &mut out);
+        assert!(out.is_empty(), "{out:#?}");
+        let cli = named_member(
+            "rim-cli",
+            "",
+            Some("/// control_timing_reports_stages_on_stderr\n#[test]\nfn other() {}\n"),
+        );
+        out.clear();
+        audit_retained_cli_e2e(&[cli], &mut out);
+        assert_eq!(out.len(), 2, "{out:#?}");
     }
 
     #[test]

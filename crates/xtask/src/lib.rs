@@ -11,10 +11,16 @@
 //! * **Workspace audits** ([`audit`]): declared-but-unused and
 //!   used-but-undeclared dependencies per crate, an (empty) external
 //!   dependency allowlist keeping the build hermetic,
-//!   `[[bench]]` ↔ `benches/*.rs` consistency, and the
+//!   `[[bench]]` ↔ `benches/*.rs` consistency, the
 //!   `naive-oracle-retained` audit (every retained brute-force oracle —
 //!   the `O(n²)` interference kernel and the Gabriel/RNG witness scans —
-//!   must keep test callers — see [`audit::audit_oracle_retained`]).
+//!   must keep test callers — see [`audit::audit_oracle_retained`]),
+//!   the `obs-no-op-default` audit (only the CLI and the bench harness
+//!   may install an observability recorder; library crates record into
+//!   a no-op sink — see [`audit::audit_obs_noop_default`]), and the
+//!   `stage-timing-e2e-retained` audit (the CLI keeps end-to-end tests
+//!   for per-stage timing/`--obs` output — see
+//!   [`audit::audit_retained_cli_e2e`]).
 //!
 //! The workspace gates itself on a clean run: an integration test
 //! asserts `run_lint(workspace_root)` returns zero diagnostics, so
@@ -169,6 +175,8 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
         audit::audit_member(member, &workspace_crates, &mut out);
     }
     audit::audit_oracle_retained(&members, &mut out);
+    audit::audit_obs_noop_default(&members, &mut out);
+    audit::audit_retained_cli_e2e(&members, &mut out);
     out.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });

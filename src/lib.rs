@@ -40,6 +40,7 @@
 //! | [`viz`] | SVG rendering of topologies and arc diagrams |
 //! | [`sim`] | slot-synchronous MAC simulator on the disk model |
 //! | [`workloads`] | deterministic instance generators |
+//! | [`obs`] | spans, counters, histograms (no-op unless a recorder is installed) |
 
 #![forbid(unsafe_code)]
 
@@ -47,6 +48,7 @@ pub use rim_core as interference;
 pub use rim_geom as geom;
 pub use rim_graph as graph;
 pub use rim_highway as highway;
+pub use rim_obs as obs;
 pub use rim_proto as proto;
 pub use rim_viz as viz;
 pub use rim_sim as sim;
