@@ -108,6 +108,7 @@ impl DynamicInterference {
     }
 
     /// Current radius of `u`.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
     pub fn radius(&self, u: usize) -> f64 {
         self.radii[u]
     }
@@ -125,6 +126,7 @@ impl DynamicInterference {
     /// Inserts `{u, v}`; returns `false` if the edge already existed.
     /// Costs one disk query per endpoint whose radius (or transmit
     /// status) changed — `O(affected)`.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated; points/radii grow in lockstep
     pub fn insert_edge(&mut self, u: usize, v: usize) -> bool {
         let d = self.points[u].dist(&self.points[v]);
         if !self.graph.add_edge(u, v, d) {
@@ -156,6 +158,7 @@ impl DynamicInterference {
     /// candidates within the current maximum radius, via the index) and,
     /// being isolated, contributes nothing itself until an edge arrives.
     /// The spatial index absorbs the node lazily — see the module docs.
+    // rim-lint: allow(panic-freedom) — candidate ids come from the index over these same vectors
     pub fn insert_node(&mut self, p: Point) -> usize {
         assert!(p.is_finite(), "node positions must be finite");
         rim_obs::counter_add("dynamic.node_inserts", 1);
@@ -181,6 +184,7 @@ impl DynamicInterference {
     /// Calls `f(u, dist(points[u], c))` for every node within distance
     /// `r` of `c`: indexed nodes via one disk query, pending nodes via a
     /// linear scan of the (small, amortized) overlay.
+    // rim-lint: allow(panic-freedom) — the index only yields ids < points.len()
     fn for_each_candidate<F: FnMut(usize, f64)>(&self, c: Point, r: f64, mut f: F) {
         self.index
             .for_each_in_disk(c, r, |u| f(u, self.points[u].dist(&c)));
@@ -195,6 +199,7 @@ impl DynamicInterference {
     /// Rebuilds the spatial index once the pending overlay outgrows half
     /// the indexed set (with a constant floor so small structures never
     /// rebuild): `O(n)` per rebuild, amortized `O(1)` per insertion.
+    // rim-lint: allow(panic-freedom) — indexed_len <= points.len() by construction
     fn maybe_rebuild_index(&mut self) {
         let pending = self.points.len() - self.indexed_len;
         if pending > (self.indexed_len / 2).max(64) {
@@ -214,6 +219,7 @@ impl DynamicInterference {
 
     /// Moves one node's coverage count from `old` to `new` in the
     /// histogram, keeping `cur_max` exact in amortized `O(1)`.
+    // rim-lint: allow(panic-freedom) — `old` was previously added, so freq[old] exists; `new` is resized in
     fn histogram_move(&mut self, old: usize, new: usize) {
         self.freq[old] -= 1;
         if new >= self.freq.len() {
@@ -230,6 +236,7 @@ impl DynamicInterference {
     }
 
     /// Registers a fresh node entering the histogram at count `c`.
+    // rim-lint: allow(panic-freedom) — freq is resized to cover `c` before indexing
     fn histogram_add(&mut self, c: usize) {
         if c >= self.freq.len() {
             self.freq.resize(c + 1, 0);
@@ -250,6 +257,7 @@ impl DynamicInterference {
     /// radius, so one index query of radius `max(old, new)` visits every
     /// node whose membership can differ; comparing covered-before vs
     /// covered-after per node is immune to boundary subtleties at `d = 0`.
+    // rim-lint: allow(panic-freedom) — u is a maintained node id; per-node vectors grow in lockstep
     fn set_radius(&mut self, u: usize, new_r: f64) {
         let old_r = self.radii[u];
         let was_tx = self.was_transmitting[u];

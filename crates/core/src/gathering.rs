@@ -87,6 +87,7 @@ impl GatheringTree {
     }
 
     /// Parent of `v` (`usize::MAX` for the sink / unreachable nodes).
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the tree
     pub fn parent(&self, v: usize) -> usize {
         self.parent[v]
     }
@@ -98,6 +99,7 @@ impl GatheringTree {
 
     /// Directed transmission radius of `v`: the distance to its parent
     /// (0 for the sink and unreachable nodes).
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated; parents index the same node set
     pub fn radius(&self, v: usize) -> f64 {
         match self.parent[v] {
             usize::MAX => 0.0,

@@ -145,6 +145,7 @@ pub fn interference_vector_naive(t: &Topology) -> Vec<usize> {
 /// back to a kd-tree when the spread defeats any uniform cell. Public so
 /// other layers computing coverage relations (e.g. the simulator's PHY
 /// tables) share the same heuristic.
+// rim-lint: allow(panic-freedom) — the median index is guarded by the is_empty branch
 pub fn build_index(t: &Topology) -> SpatialIndex {
     let _span = rim_obs::span("interference/index_build");
     let mut radii: Vec<f64> = t.radii().iter().copied().filter(|&r| r > 0.0).collect();
@@ -162,6 +163,7 @@ pub fn build_index(t: &Topology) -> SpatialIndex {
 /// for transmitters) so the kernels can report query totals in one
 /// counter update per batch.
 #[inline]
+// rim-lint: allow(panic-freedom) — `out` has one slot per node; the index only yields node ids
 fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [usize]) -> u64 {
     if t.graph().degree(u) == 0 {
         return 0; // isolated nodes transmit nothing

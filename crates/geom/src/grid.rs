@@ -54,6 +54,7 @@ impl UniformGrid {
     ///
     /// Queries stay correct under both adjustments, only their constant
     /// factor changes.
+    // rim-lint: allow(panic-freedom) — `cell_of` clamps into `0..ncells`; the prefix sums cover `ncells + 1` slots
     pub fn build(points: &[Point], cell: f64) -> Self {
         let bbox = Aabb::of_points(points);
         let cell = if cell > 0.0 && cell.is_finite() {
@@ -156,6 +157,7 @@ impl UniformGrid {
     /// distance predicate, whether or not they passed) — the
     /// output-sensitivity signal the observability layer reports per
     /// query.
+    // rim-lint: allow(panic-freedom) — cell coordinates are clamped to the grid; `starts` has `ncells + 1` entries
     pub fn for_each_in_disk_counting<F: FnMut(usize)>(&self, c: Point, r: f64, mut f: F) -> usize {
         debug_assert!(r >= 0.0);
         let mut candidates = 0usize;
@@ -196,6 +198,7 @@ impl UniformGrid {
     /// Occupancy of every non-empty bucket, in cell order — the cell
     /// occupancy distribution the observability layer histograms at build
     /// time.
+    // rim-lint: allow(panic-freedom) — `windows(2)` always yields two-element slices
     pub fn nonempty_bucket_sizes(&self) -> impl Iterator<Item = usize> + '_ {
         self.starts
             .windows(2)
@@ -220,6 +223,7 @@ impl UniformGrid {
     /// Index of the nearest indexed point to `c` that is not `exclude`
     /// (pass `usize::MAX` to exclude nothing). Returns `None` when no
     /// eligible point exists. Ties break towards the smaller index.
+    // rim-lint: allow(panic-freedom) — disk queries only yield indexed point ids
     pub fn nearest(&self, c: Point, exclude: usize) -> Option<usize> {
         if self.points.is_empty() || (self.points.len() == 1 && exclude == 0) {
             return None;

@@ -44,6 +44,7 @@ impl KdTree {
         }
     }
 
+    // rim-lint: allow(panic-freedom) — `order` holds indices into `points`; heap slots are pre-sized
     fn build_rec(points: &[Point], order: &mut [u32], axis: u8, nodes: &mut [Node], at: usize) {
         if order.is_empty() {
             return;
@@ -131,6 +132,7 @@ impl KdTree {
         self.range_rec(0, q, r, &mut f);
     }
 
+    // rim-lint: allow(panic-freedom) — `at` is bounds-checked before every node access
     fn range_rec<F: FnMut(usize)>(&self, at: usize, q: Point, r: f64, f: &mut F) {
         if at >= self.nodes.len() || self.nodes[at].idx == u32::MAX {
             return;

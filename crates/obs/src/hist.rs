@@ -62,6 +62,7 @@ impl Histogram {
     }
 
     /// Records one sample.
+    // rim-lint: allow(panic-freedom) — `bucket_index` only returns indices below `LOG2_BUCKETS`
     pub fn record(&mut self, value: u64) {
         self.count += 1;
         self.sum = self.sum.saturating_add(value);

@@ -58,6 +58,7 @@ thread_local! {
     /// innermost last.
     static SPAN_STACK: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
     /// Small dense id for this thread, assigned on first span.
+    /// Relaxed: ids only need uniqueness, not any ordering with other state.
     static THREAD_ID: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
 }
 
@@ -129,22 +130,27 @@ impl Recorder {
             counters: self.counters(),
             histograms,
             spans,
+            // Relaxed: a monotone diagnostic counter; the snapshot promises
+            // no cross-metric consistency.
             mismatched_exits: self.mismatched_exits.load(Ordering::Relaxed),
         }
     }
 }
 
 impl ObsSink for Recorder {
+    // rim-lint: allow(panic-freedom) — `shard_of` reduces modulo `SHARDS`
     fn counter_add(&self, name: &'static str, delta: u64) {
         let shard = &self.shards[shard_of(name)];
         *relock(shard.counters.lock()).entry(name).or_insert(0) += delta;
     }
 
+    // rim-lint: allow(panic-freedom) — `shard_of` reduces modulo `SHARDS`
     fn record_value(&self, name: &'static str, value: u64) {
         let shard = &self.shards[shard_of(name)];
         relock(shard.hists.lock()).entry(name).or_default().record(value);
     }
 
+    // rim-lint: allow(panic-freedom) — the arena is non-empty right after the push
     fn span_enter(&self, name: &'static str) -> SpanId {
         let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
         let thread = THREAD_ID.with(|id| *id);
@@ -172,6 +178,7 @@ impl ObsSink for Recorder {
             }
         });
         if !well_formed {
+            // Relaxed: monotone diagnostic counter; publishes no other state.
             self.mismatched_exits.fetch_add(1, Ordering::Relaxed);
         }
         let mut spans = relock(self.spans.lock());

@@ -98,6 +98,9 @@ fn relock<T>(r: std::sync::LockResult<T>) -> T {
 /// sit behind their own uncontended `Mutex`). `f` must be `Sync` (it is
 /// shared across threads) and items are consumed by value. Panics in
 /// workers propagate to the caller.
+// `i >= n` is checked before indexing, and a missing output slot only
+// re-raises a worker panic the scope already propagated.
+// rim-lint: allow(panic-freedom)
 pub fn parallel_map<P, R, F>(params: Vec<P>, f: F) -> Vec<R>
 where
     P: Send,
@@ -120,6 +123,8 @@ where
             scope.spawn(|| {
                 let mut claimed = 0u64;
                 loop {
+                    // Relaxed: the cursor is a pure claim ticket; the Mutex
+                    // around each slot publishes the claimed payload.
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;

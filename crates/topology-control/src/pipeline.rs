@@ -59,6 +59,7 @@ pub(crate) fn resolve(engine: Engine, n: usize) -> Engine {
 /// balances bucket population against buckets touched). Falls back to a
 /// kd-tree on degenerate spreads exactly as the interference engine
 /// does.
+// rim-lint: allow(panic-freedom) — the median index is guarded by the is_empty branch
 pub fn witness_index(nodes: &NodeSet, udg: &AdjacencyList) -> SpatialIndex {
     let _span = rim_obs::span("control/witness_index");
     let mut lens: Vec<f64> = udg.edges().iter().map(|e| e.weight).collect();
@@ -76,6 +77,7 @@ pub fn witness_index(nodes: &NodeSet, udg: &AdjacencyList) -> SpatialIndex {
 /// (inline when `threads <= 1`), and adds survivors to a fresh
 /// `n`-vertex adjacency list *in input order* — so the result is
 /// independent of the thread count by construction.
+// rim-lint: allow(panic-freedom) — `par_map_ranges` only yields indices below `edges.len()`
 pub(crate) fn filter_edges<F>(n: usize, edges: &[Edge], threads: usize, keep: F) -> AdjacencyList
 where
     F: Fn(&Edge) -> bool + Sync,

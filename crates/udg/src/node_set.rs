@@ -44,6 +44,7 @@ impl NodeSet {
 
     /// Position of node `i`.
     #[inline]
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the set
     pub fn pos(&self, i: usize) -> Point {
         self.points[i]
     }
@@ -56,12 +57,14 @@ impl NodeSet {
 
     /// Euclidean distance between nodes `i` and `j`.
     #[inline]
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the set
     pub fn dist(&self, i: usize, j: usize) -> f64 {
         self.points[i].dist(&self.points[j])
     }
 
     /// Squared Euclidean distance between nodes `i` and `j`.
     #[inline]
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the set
     pub fn dist_sq(&self, i: usize, j: usize) -> f64 {
         self.points[i].dist_sq(&self.points[j])
     }
@@ -117,6 +120,7 @@ impl From<Vec<Point>> for NodeSet {
 impl std::ops::Index<usize> for NodeSet {
     type Output = Point;
     #[inline]
+    // rim-lint: allow(panic-freedom) — Index impls forward the slice's own contract
     fn index(&self, i: usize) -> &Point {
         &self.points[i]
     }

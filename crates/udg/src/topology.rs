@@ -94,6 +94,7 @@ impl Topology {
     /// Transmission radius of node `u` (distance to its farthest
     /// neighbor; 0 if isolated).
     #[inline]
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated; radii cover every node
     pub fn radius(&self, u: usize) -> f64 {
         self.radii[u]
     }

@@ -1,21 +1,36 @@
-//! `rim-xtask`: zero-dependency static analysis for the workspace.
+//! `rim-xtask`: zero-dependency syntax-aware static analysis for the
+//! workspace.
 //!
-//! Run as `cargo run -p rim-xtask -- lint`. Two layers:
+//! Run as `cargo run -p rim-xtask -- lint` (diagnostics; `--rule` /
+//! `--explain` filter and document rules) or `-- graph --out
+//! results/callgraph.jsonl` (call-graph export). Four layers:
 //!
-//! * **Lint rules** ([`rules`]) over a comment/string-aware token
+//! * **Token rules** ([`rules`]) over a comment/string-aware token
 //!   stream ([`lexer`]): `float-eq`, `squared-distance-mismatch`,
-//!   `no-unwrap-in-lib`, `forbid-unsafe`, `pub-doc-coverage`.
-//!   Intentional violations are silenced in place with
-//!   `// rim-lint: allow(<rule>)` (same + next line) or
+//!   `no-unwrap-in-lib`, `forbid-unsafe`, `pub-doc-coverage`, and
+//!   `unknown-pragma-rule` (every pragma must name a rule registered
+//!   in [`rules::RULE_CATALOG`]). Intentional violations are silenced
+//!   in place with `// rim-lint: allow(<rule>)` (same + next line) or
 //!   `// rim-lint: allow-file(<rule>)` (whole file).
+//! * **Item trees** ([`parse`]): a brace-matched parser recovering
+//!   module/impl/trait nesting and `fn` items with opaque token-range
+//!   bodies; self-tested against every `.rs` file in the repository
+//!   and fuzzed with `rim_rng::prop`.
+//! * **Workspace call graph** ([`model`]): heuristic name resolution
+//!   restricted to each caller crate's dependency closure, feeding the
+//!   graph-driven rules `panic-freedom` (no panicking construct
+//!   reachable from the kernel/update/executor/pipeline roots),
+//!   `atomic-ordering` (every `Relaxed`/`SeqCst` in rim-par/rim-obs is
+//!   justified), `lock-discipline` (no `MutexGuard` held across the
+//!   parallel executor, no double-lock), `dead-pub` (no unreferenced
+//!   `pub` items), and the graph-backed `naive-oracle-retained` (each
+//!   brute-force oracle must be *reachable from a test* — see
+//!   [`audit::audit_oracle_retained_graph`]).
 //! * **Workspace audits** ([`audit`]): declared-but-unused and
 //!   used-but-undeclared dependencies per crate, an (empty) external
 //!   dependency allowlist keeping the build hermetic,
 //!   `[[bench]]` ↔ `benches/*.rs` consistency, the
-//!   `naive-oracle-retained` audit (every retained brute-force oracle —
-//!   the `O(n²)` interference kernel and the Gabriel/RNG witness scans —
-//!   must keep test callers — see [`audit::audit_oracle_retained`]),
-//!   the `obs-no-op-default` audit (only the CLI and the bench harness
+//!   `obs-no-op-default` audit (only the CLI and the bench harness
 //!   may install an observability recorder; library crates record into
 //!   a no-op sink — see [`audit::audit_obs_noop_default`]), and the
 //!   `stage-timing-e2e-retained` audit (the CLI keeps end-to-end tests
@@ -29,6 +44,8 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod model;
+pub mod parse;
 pub mod lexer;
 pub mod rules;
 
@@ -116,11 +133,9 @@ fn needs_doc_coverage(rel: &str) -> bool {
     rel.starts_with("crates/core/src/") || rel.starts_with("crates/highway/src/")
 }
 
-/// Lints and audits the workspace rooted at `root`, returning all
-/// findings sorted by `(file, line, rule)`. `Err` is reserved for
-/// infrastructure failures (unreadable files), not findings.
-pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
-    // Discover members: the root package plus crates/*.
+/// Discovers and loads every workspace member: the root package plus
+/// `crates/*`, sorted. Shared by [`run_lint`] and the `graph` command.
+pub fn load_workspace(root: &Path) -> Result<Vec<audit::Member>, String> {
     let mut member_dirs = vec![root.to_path_buf()];
     let crates_dir = root.join("crates");
     if crates_dir.is_dir() {
@@ -134,11 +149,18 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
         dirs.sort();
         member_dirs.extend(dirs);
     }
-
     let mut members = Vec::new();
     for dir in &member_dirs {
         members.push(audit::load_member(root, dir)?);
     }
+    Ok(members)
+}
+
+/// Lints and audits the workspace rooted at `root`, returning all
+/// findings sorted by `(file, line, rule)`. `Err` is reserved for
+/// infrastructure failures (unreadable files), not findings.
+pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
+    let members = load_workspace(root)?;
     let workspace_crates: BTreeSet<String> = members
         .iter()
         .map(|m| m.manifest.package_name.clone())
@@ -161,6 +183,7 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
                 };
                 rules::float_eq(&ctx, &mut out);
                 rules::squared_distance_mismatch(&ctx, &mut out);
+                rules::unknown_pragma_rule(&ctx, &mut out);
                 if is_lib_source && has_lib && is_lib_code(rel) {
                     rules::no_unwrap_in_lib(&ctx, &mut out);
                 }
@@ -174,7 +197,20 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
         }
         audit::audit_member(member, &workspace_crates, &mut out);
     }
-    audit::audit_oracle_retained(&members, &mut out);
+
+    // Call-graph-driven audits: build the syntactic workspace model once
+    // and run the reachability rules over it.
+    let ws = model::build(&members);
+    let pragma_map: std::collections::BTreeMap<String, rules::Pragmas> = ws
+        .files
+        .iter()
+        .map(|f| (f.rel.to_string(), rules::Pragmas::parse(f.tokens)))
+        .collect();
+    audit::audit_panic_freedom(&ws, &pragma_map, &mut out);
+    audit::audit_atomic_ordering(&members, &pragma_map, &mut out);
+    audit::audit_lock_discipline(&ws, &pragma_map, &mut out);
+    audit::audit_dead_pub(&ws, &pragma_map, &mut out);
+    audit::audit_oracle_retained_graph(&ws, &mut out);
     audit::audit_obs_noop_default(&members, &mut out);
     audit::audit_retained_cli_e2e(&members, &mut out);
     out.sort_by(|a, b| {

@@ -1,18 +1,32 @@
-//! CLI entry point: `cargo run -p rim-xtask -- lint [--format human|jsonl] [--root PATH]`.
+//! CLI entry point.
 //!
-//! Exit codes: `0` clean, `1` diagnostics found, `2` usage or I/O error.
+//! ```text
+//! cargo run -p rim-xtask -- lint  [--format human|jsonl] [--root PATH]
+//!                                 [--rule NAME] [--explain RULE]
+//! cargo run -p rim-xtask -- graph [--root PATH] [--out PATH]
+//! ```
+//!
+//! `lint` exit codes: `0` clean, `1` diagnostics found, `2` usage or
+//! I/O error. `graph` writes the workspace call graph as JSONL (one
+//! `fn` record per definition, one `edge` record per resolved call) to
+//! `--out` (default `results/callgraph.jsonl`).
 
 #![forbid(unsafe_code)]
 
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-const USAGE: &str = "usage: cargo run -p rim-xtask -- lint [--format human|jsonl] [--root PATH]";
+const USAGE: &str = "usage: cargo run -p rim-xtask -- <command>\n\
+  lint  [--format human|jsonl] [--root PATH] [--rule NAME] [--explain RULE]\n\
+  graph [--root PATH] [--out PATH]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut format = "human".to_string();
     let mut root: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut rule_filter: Option<String> = None;
+    let mut explain: Option<String> = None;
     let mut command: Option<String> = None;
 
     let mut it = args.into_iter();
@@ -26,19 +40,46 @@ fn main() -> ExitCode {
                 Some(p) => root = Some(PathBuf::from(p)),
                 None => return usage_error("--root takes a path"),
             },
+            "--out" => match it.next() {
+                Some(p) => out_path = Some(PathBuf::from(p)),
+                None => return usage_error("--out takes a path"),
+            },
+            "--rule" => match it.next() {
+                Some(r) => rule_filter = Some(r),
+                None => return usage_error("--rule takes a rule name"),
+            },
+            "--explain" => match it.next() {
+                Some(r) => explain = Some(r),
+                None => return usage_error("--explain takes a rule name"),
+            },
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
-            c if command.is_none() && !c.starts_with('-') => command = Some(arg),
+            c if command.is_none() && !c.starts_with('-') => command = Some(c.to_string()),
             _ => return usage_error(&format!("unrecognized argument `{arg}`")),
         }
     }
 
-    match command.as_deref() {
-        Some("lint") => {}
-        Some(c) => return usage_error(&format!("unknown command `{c}`")),
-        None => return usage_error("missing command"),
+    // Rule-name arguments are validated against the registry up front,
+    // so a typo'd filter errors out instead of silently matching nothing.
+    for name in rule_filter.iter().chain(&explain) {
+        if !rim_xtask::rules::rule_known(name) {
+            return usage_error(&format!(
+                "unknown rule `{name}`; registered rules:\n  {}",
+                rim_xtask::rules::RULE_CATALOG
+                    .iter()
+                    .map(|(n, _)| *n)
+                    .collect::<Vec<_>>()
+                    .join("\n  ")
+            ));
+        }
+    }
+    if let Some(name) = explain {
+        // Validated above, so the lookup cannot miss.
+        let text = rim_xtask::rules::rule_explanation(&name).unwrap_or("");
+        println!("{name}: {text}");
+        return ExitCode::SUCCESS;
     }
 
     let root = match root {
@@ -61,13 +102,26 @@ fn main() -> ExitCode {
         }
     };
 
-    let diagnostics = match rim_xtask::run_lint(&root) {
+    match command.as_deref() {
+        Some("lint") => run_lint_command(&root, &format, rule_filter.as_deref()),
+        Some("graph") => run_graph_command(&root, out_path),
+        Some(c) => usage_error(&format!("unknown command `{c}`")),
+        None => usage_error("missing command"),
+    }
+}
+
+fn run_lint_command(root: &std::path::Path, format: &str, rule: Option<&str>) -> ExitCode {
+    let diagnostics = match rim_xtask::run_lint(root) {
         Ok(d) => d,
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::from(2);
         }
     };
+    let diagnostics: Vec<_> = diagnostics
+        .into_iter()
+        .filter(|d| rule.is_none_or(|r| d.rule == r))
+        .collect();
 
     for d in &diagnostics {
         if format == "jsonl" {
@@ -83,6 +137,36 @@ fn main() -> ExitCode {
         eprintln!("rim-xtask lint: {} diagnostic(s)", diagnostics.len());
         ExitCode::FAILURE
     }
+}
+
+fn run_graph_command(root: &std::path::Path, out_path: Option<PathBuf>) -> ExitCode {
+    let members = match rim_xtask::load_workspace(root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let ws = rim_xtask::model::build(&members);
+    let jsonl = ws.export_jsonl();
+    let out_path = out_path.unwrap_or_else(|| root.join("results/callgraph.jsonl"));
+    if let Some(parent) = out_path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("error: {}: {e}", parent.display());
+            return ExitCode::from(2);
+        }
+    }
+    if let Err(e) = std::fs::write(&out_path, &jsonl) {
+        eprintln!("error: {}: {e}", out_path.display());
+        return ExitCode::from(2);
+    }
+    eprintln!(
+        "rim-xtask graph: {} fns, {} edges -> {}",
+        ws.fns.len(),
+        ws.edges.len(),
+        out_path.display()
+    );
+    ExitCode::SUCCESS
 }
 
 fn usage_error(msg: &str) -> ExitCode {

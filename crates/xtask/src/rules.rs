@@ -11,14 +11,107 @@
 use crate::lexer::{lex, Kind, Token};
 use crate::Diagnostic;
 
-/// All rule names, as used in pragmas and diagnostics.
-pub const RULES: &[&str] = &[
-    "float-eq",
-    "squared-distance-mismatch",
-    "no-unwrap-in-lib",
-    "forbid-unsafe",
-    "pub-doc-coverage",
+/// The rule registry: every diagnostic name the workspace can emit,
+/// with a one-line explanation. Shared by pragma validation (an
+/// `allow(...)` naming an unknown rule is itself a finding), the CLI's
+/// `--rule` filter, and `--explain`.
+pub const RULE_CATALOG: &[(&str, &str)] = &[
+    (
+        "float-eq",
+        "`==`/`!=` on a floating-point quantity; use an ordering predicate, \
+         `total_cmp`, or an explicit tolerance",
+    ),
+    (
+        "squared-distance-mismatch",
+        "a comparison mixes a squared quantity with an unsquared distance or \
+         radius; both sides must live at the same power",
+    ),
+    (
+        "no-unwrap-in-lib",
+        "`.unwrap()`, `.expect()`, or a panicking macro in non-test library \
+         code; propagate the error or justify with a pragma",
+    ),
+    (
+        "forbid-unsafe",
+        "a crate root is missing `#![forbid(unsafe_code)]`",
+    ),
+    (
+        "pub-doc-coverage",
+        "a public item of the model crates (rim-core, rim-highway) has no \
+         doc comment",
+    ),
+    (
+        "panic-freedom",
+        "a function reachable from the panic-free root set (the interference \
+         kernel, dynamic updates, the parallel executor, pipeline stages) \
+         contains a panicking construct: `panic!`-family macros, \
+         `.unwrap()`/`.expect()`, slice indexing, or unchecked length \
+         subtraction",
+    ),
+    (
+        "atomic-ordering",
+        "an `Ordering::Relaxed`/`Ordering::SeqCst` use in rim-par/rim-obs \
+         lacks a one-line soundness justification comment naming the ordering",
+    ),
+    (
+        "lock-discipline",
+        "a `.lock()` guard is held across `par_map_ranges`/`parallel_map`, or \
+         the same lock is taken twice in one scope",
+    ),
+    (
+        "dead-pub",
+        "a `pub` item has zero references anywhere in the workspace (tests \
+         and benches included); demote it or remove it",
+    ),
+    (
+        "unknown-pragma-rule",
+        "a `// rim-lint: allow(...)` pragma names a rule that is not in the \
+         registry, so it suppresses nothing",
+    ),
+    (
+        "external-dependency",
+        "a manifest declares a dependency that is neither a workspace crate \
+         nor on the (empty) external allowlist; the build must stay hermetic",
+    ),
+    (
+        "unused-dependency",
+        "a declared dependency is never referenced in the crate's sources",
+    ),
+    (
+        "undeclared-dependency",
+        "sources reference a crate the manifest does not declare",
+    ),
+    (
+        "bench-target",
+        "a `[[bench]]` entry and `benches/*.rs` are out of sync, or a bench \
+         target is missing `harness = false`",
+    ),
+    (
+        "naive-oracle-retained",
+        "a retained brute-force oracle is no longer reachable from any test; \
+         the differential suites must keep exercising the naive references",
+    ),
+    (
+        "obs-no-op-default",
+        "library code installs an observability recorder; only the CLI and \
+         the bench harness may enable a sink",
+    ),
+    (
+        "stage-timing-e2e-retained",
+        "a retained CLI end-to-end test for per-stage timing/`--obs` output \
+         is gone",
+    ),
 ];
+
+/// Is `name` a registered rule?
+pub fn rule_known(name: &str) -> bool {
+    RULE_CATALOG.iter().any(|(n, _)| *n == name)
+}
+
+/// The registry explanation for `name`, if registered.
+pub fn rule_explanation(name: &str) -> Option<&'static str> {
+    RULE_CATALOG.iter().find(|(n, _)| *n == name).map(|(_, e)| *e)
+}
 
 /// Identifiers that suggest a comparison operand is floating-point.
 /// Domain-specific names (`dist`, `radius`, `weight`, …) are included
@@ -57,6 +150,8 @@ pub struct Pragmas {
     line_allows: Vec<(String, u32)>,
     /// Rules suppressed for the whole file.
     file_allows: Vec<String>,
+    /// `(name, line)` of pragma arguments that are not registered rules.
+    unknown: Vec<(String, u32)>,
 }
 
 impl Pragmas {
@@ -66,8 +161,12 @@ impl Pragmas {
     pub fn parse(tokens: &[Token]) -> Pragmas {
         let mut line_allows = Vec::new();
         let mut file_allows = Vec::new();
+        let mut unknown = Vec::new();
         for t in tokens {
-            if !matches!(t.kind, Kind::Comment | Kind::DocComment) {
+            // Plain line comments only: doc comments *describe* the
+            // pragma grammar (`allow(<rule>)` in rustdoc examples) and
+            // must neither suppress nor trip `unknown-pragma-rule`.
+            if t.kind != Kind::Comment {
                 continue;
             }
             let Some(rest) = t.text.find("rim-lint:").map(|p| &t.text[p + 9..]) else {
@@ -87,6 +186,12 @@ impl Pragmas {
                 if rule.is_empty() {
                     continue;
                 }
+                // An unregistered name suppresses nothing; record it so
+                // `unknown-pragma-rule` can flag the typo.
+                if !rule_known(&rule) {
+                    unknown.push((rule, t.line));
+                    continue;
+                }
                 if file_scope {
                     file_allows.push(rule);
                 } else {
@@ -94,7 +199,12 @@ impl Pragmas {
                 }
             }
         }
-        Pragmas { line_allows, file_allows }
+        Pragmas { line_allows, file_allows, unknown }
+    }
+
+    /// Pragma arguments that named unregistered rules.
+    pub fn unknown_rules(&self) -> &[(String, u32)] {
+        &self.unknown
     }
 
     /// Is `rule` suppressed at `line`?
@@ -454,7 +564,12 @@ pub fn no_unwrap_in_lib(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
                 "expect" => fire(".expect()"),
                 _ => None,
             }
-        } else if a.kind == Kind::Ident && b.text == "!" && c.text == "(" {
+        } else if a.kind == Kind::Ident
+            && b.text == "!"
+            && matches!(c.text.as_str(), "(" | "{" | "[")
+        {
+            // All three macro delimiters: `panic!("…")`, `panic!{"…"}`,
+            // and `panic!["…"]` panic identically.
             match a.text.as_str() {
                 "panic" => fire("panic!"),
                 "unreachable" => fire("unreachable!"),
@@ -468,6 +583,25 @@ pub fn no_unwrap_in_lib(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
         if let Some(m) = msg {
             ctx.emit(out, "no-unwrap-in-lib", b.line, m);
         }
+    }
+}
+
+/// `unknown-pragma-rule`: every rule name in a `// rim-lint:` pragma
+/// must exist in [`RULE_CATALOG`]. A typo'd pragma suppresses nothing,
+/// which is worse than no pragma: the author believes the site is
+/// justified while the gate still fires — or, for a rule that was
+/// renamed away, never fires again.
+pub fn unknown_pragma_rule(ctx: &FileCtx, out: &mut Vec<Diagnostic>) {
+    for (name, line) in ctx.pragmas.unknown_rules() {
+        ctx.emit(
+            out,
+            "unknown-pragma-rule",
+            *line,
+            format!(
+                "pragma names `{name}`, which is not a registered rule; see \
+                 `cargo run -p rim-xtask -- lint --explain <rule>` for the catalog"
+            ),
+        );
     }
 }
 
@@ -744,6 +878,37 @@ mod tests {
     fn doc_coverage_skips_test_mods() {
         let src = "#[cfg(test)]\nmod tests { pub fn helper() {} }";
         assert_eq!(run(pub_doc_coverage, src).len(), 0);
+    }
+
+    #[test]
+    fn unwrap_fires_on_brace_and_bracket_macro_delimiters() {
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { panic!{\"m\"} }").len(), 1);
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { todo![] }").len(), 1);
+        assert_eq!(run(no_unwrap_in_lib, "fn f() { unreachable!{} }").len(), 1);
+    }
+
+    // ---- registry + unknown-pragma-rule ----
+
+    #[test]
+    fn rule_registry_lookup() {
+        for rule in ["panic-freedom", "atomic-ordering", "lock-discipline", "dead-pub"] {
+            assert!(rule_known(rule), "{rule} missing from the catalog");
+            assert!(rule_explanation(rule).is_some());
+        }
+        assert!(!rule_known("panic_freedom"));
+        assert!(rule_explanation("no-such-rule").is_none());
+    }
+
+    #[test]
+    fn unknown_pragma_rule_flags_typos() {
+        let out = run(unknown_pragma_rule, "// rim-lint: allow(flaot-eq)\nfn f() {}");
+        assert_eq!(out.len(), 1, "{out:#?}");
+        assert!(out[0].message.contains("flaot-eq"));
+        assert_eq!(run(unknown_pragma_rule, "// rim-lint: allow(float-eq)\nfn f() {}").len(), 0);
+        // allow-file with a bad name is flagged and suppresses nothing.
+        assert_eq!(run(unknown_pragma_rule, "// rim-lint: allow-file(no-such)\n").len(), 1);
+        let (tokens, _) = prepare("// rim-lint: allow-file(no-such)\n");
+        assert!(!Pragmas::parse(&tokens).allows("no-such", 5));
     }
 
     // ---- pragmas ----

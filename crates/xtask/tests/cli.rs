@@ -1,0 +1,73 @@
+//! End-to-end coverage of the `rim-xtask` command line: rule-name
+//! validation for `--rule`/`--explain`, and the `graph` exporter
+//! producing a non-empty JSONL file.
+
+use std::path::Path;
+use std::process::Command;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rim-xtask"))
+}
+
+fn workspace_root() -> std::path::PathBuf {
+    rim_xtask::find_workspace_root(Path::new(env!("CARGO_MANIFEST_DIR")))
+        .expect("workspace root above the crate dir")
+}
+
+#[test]
+fn explain_prints_the_registered_explanation() {
+    let out = bin().args(["lint", "--explain", "panic-freedom"]).output().expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.starts_with("panic-freedom:"), "{text}");
+    assert!(text.contains("panic-free root set"), "{text}");
+}
+
+#[test]
+fn unknown_rule_names_are_rejected_up_front() {
+    for args in [["lint", "--rule", "no-such-rule"], ["lint", "--explain", "panic_freedom"]] {
+        let out = bin().args(args).output().expect("spawn");
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        // The error names the offender and lists the catalog.
+        assert!(err.contains("unknown rule"), "{err}");
+        assert!(err.contains("float-eq") && err.contains("dead-pub"), "{err}");
+    }
+}
+
+#[test]
+fn rule_filter_keeps_the_workspace_clean_run() {
+    let out = bin()
+        .args(["lint", "--rule", "panic-freedom", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("clean"), "{out:?}");
+}
+
+#[test]
+fn graph_writes_nonempty_jsonl() {
+    let dir = std::env::temp_dir().join(format!("rim-xtask-graph-{}", std::process::id()));
+    let out_path = dir.join("callgraph.jsonl");
+    let out = bin()
+        .arg("graph")
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let text = std::fs::read_to_string(&out_path).expect("graph file written");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert!(text.lines().count() > 400, "suspiciously small graph export");
+    assert!(text.lines().any(|l| l.contains("\"type\":\"fn\"")));
+    assert!(text.lines().any(|l| l.contains("\"type\":\"edge\"")));
+    assert!(
+        text.lines().any(|l| l.contains("interference_vector_naive")),
+        "the retained oracle must appear in the export"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("rim-xtask graph:"), "{err}");
+}

@@ -6,3 +6,5 @@ pub fn seven() -> u32 {
 }
 
 pub fn undocumented() {}
+
+// rim-lint: allow(not-a-rule)

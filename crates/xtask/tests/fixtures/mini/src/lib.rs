@@ -25,3 +25,12 @@ pub fn quiet(x: f64) -> bool {
 pub fn ok() -> u32 {
     demo_core::seven()
 }
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn fixture_items_are_exercised() {
+        let _ = (super::check(1.0), super::nearby(1.0, 2.0), super::quiet(2.0));
+        let _ = (super::boom(Some(3)), super::ok());
+    }
+}

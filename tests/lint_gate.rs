@@ -2,17 +2,29 @@
 //! `cargo run -p rim-xtask -- lint` would report anything. This is the
 //! enforcement point for the project's numeric discipline (no exact
 //! float equality, distance-level comparisons), hermeticity (no
-//! external dependencies, ever), and the differential-testing policy:
-//! the `naive-oracle-retained` audit fails the gate if the `O(n²)`
-//! reference kernel `interference_vector_naive` ever loses its test
+//! external dependencies, ever), the panic-freedom and
+//! concurrency-discipline obligations on the hot paths, and the
+//! differential-testing policy: the `naive-oracle-retained` audit fails
+//! the gate if any `O(n²)` reference oracle ever loses its test
 //! callers.
+//!
+//! The gate also pins the call-graph layer itself: the graph must stay
+//! populated (a degenerate parse would silently disable every
+//! graph-driven rule), the graph-based oracle-retention verdicts must
+//! agree with the legacy token scan, and a full lint run must stay
+//! inside a wall-clock budget so the gate remains cheap enough to run
+//! on every `cargo test`.
 
 use std::path::Path;
+use std::time::{Duration, Instant};
+
+fn root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
 
 #[test]
 fn workspace_lint_is_clean() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
-    let diags = rim_xtask::run_lint(root).expect("lint must run on the workspace");
+    let diags = rim_xtask::run_lint(root()).expect("lint must run on the workspace");
     let rendered: Vec<String> = diags.iter().map(|d| d.human()).collect();
     assert!(
         diags.is_empty(),
@@ -20,5 +32,71 @@ fn workspace_lint_is_clean() {
          fix the findings or annotate intentional sites with `// rim-lint: allow(<rule>)`",
         diags.len(),
         rendered.join("\n")
+    );
+}
+
+#[test]
+fn call_graph_stays_populated() {
+    let members = rim_xtask::load_workspace(root()).expect("workspace loads");
+    let ws = rim_xtask::model::build(&members);
+    assert!(
+        ws.fns.len() > 200,
+        "call graph has only {} fns; the parser or model degenerated",
+        ws.fns.len()
+    );
+    assert!(
+        ws.edges.len() > ws.fns.len(),
+        "only {} edges over {} fns; call resolution degenerated",
+        ws.edges.len(),
+        ws.fns.len()
+    );
+    // The JSONL export carries one record per fn and per edge.
+    let jsonl = ws.export_jsonl();
+    assert_eq!(jsonl.lines().count(), ws.fns.len() + ws.edges.len());
+    assert!(jsonl.lines().all(|l| l.starts_with('{') && l.ends_with('}')));
+    // Every retained oracle must be defined *and* reachable from a test
+    // in the graph — the reachability side of `naive-oracle-retained`.
+    let reach = ws.reachable_from_tests();
+    for oracle in rim_xtask::audit::RETAINED_ORACLES {
+        let reachable = ws
+            .defs_named(oracle)
+            .iter()
+            .any(|&i| !ws.fns[i].in_test && reach[i]);
+        assert!(reachable, "`{oracle}` is not test-reachable in the call graph");
+    }
+}
+
+#[test]
+fn graph_oracle_verdicts_agree_with_the_token_scan() {
+    // Same workspace, both implementations: the graph-based audit is
+    // stricter in general (it needs a call chain, not a mention), but on
+    // the real workspace the two must agree rule-for-rule — here, both
+    // clean. A divergence means either the token scan is matching a
+    // mention without a call, or call resolution lost an edge.
+    let members = rim_xtask::load_workspace(root()).expect("workspace loads");
+    let mut legacy = Vec::new();
+    rim_xtask::audit::audit_oracle_retained(&members, &mut legacy);
+    let ws = rim_xtask::model::build(&members);
+    let mut graph = Vec::new();
+    rim_xtask::audit::audit_oracle_retained_graph(&ws, &mut graph);
+    let legacy: Vec<String> = legacy.iter().map(|d| d.human()).collect();
+    let graph: Vec<String> = graph.iter().map(|d| d.human()).collect();
+    assert!(legacy.is_empty(), "token scan found: {legacy:#?}");
+    assert!(graph.is_empty(), "graph audit found: {graph:#?}");
+}
+
+#[test]
+fn lint_runtime_stays_within_budget() {
+    // The whole point of an in-tree linter is that it rides along with
+    // `cargo test`. Parsing every file, building the call graph, and
+    // running all rules must stay comfortably interactive even in debug
+    // builds; 30s is ~20x the current debug-profile cost, so this only
+    // trips on accidental quadratic blowups, not on slow CI machines.
+    let start = Instant::now();
+    rim_xtask::run_lint(root()).expect("lint must run on the workspace");
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(30),
+        "full lint took {elapsed:?}; the gate must stay cheap"
     );
 }
