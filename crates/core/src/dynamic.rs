@@ -126,7 +126,6 @@ impl DynamicInterference {
     /// Inserts `{u, v}`; returns `false` if the edge already existed.
     /// Costs one disk query per endpoint whose radius (or transmit
     /// status) changed — `O(affected)`.
-    // rim-lint: allow(panic-freedom) — node ids are caller-validated; points/radii grow in lockstep
     pub fn insert_edge(&mut self, u: usize, v: usize) -> bool {
         let d = self.points[u].dist(&self.points[v]);
         if !self.graph.add_edge(u, v, d) {
@@ -158,7 +157,6 @@ impl DynamicInterference {
     /// candidates within the current maximum radius, via the index) and,
     /// being isolated, contributes nothing itself until an edge arrives.
     /// The spatial index absorbs the node lazily — see the module docs.
-    // rim-lint: allow(panic-freedom) — candidate ids come from the index over these same vectors
     pub fn insert_node(&mut self, p: Point) -> usize {
         assert!(p.is_finite(), "node positions must be finite");
         rim_obs::counter_add("dynamic.node_inserts", 1);
@@ -184,7 +182,6 @@ impl DynamicInterference {
     /// Calls `f(u, dist(points[u], c))` for every node within distance
     /// `r` of `c`: indexed nodes via one disk query, pending nodes via a
     /// linear scan of the (small, amortized) overlay.
-    // rim-lint: allow(panic-freedom) — the index only yields ids < points.len()
     fn for_each_candidate<F: FnMut(usize, f64)>(&self, c: Point, r: f64, mut f: F) {
         self.index
             .for_each_in_disk(c, r, |u| f(u, self.points[u].dist(&c)));

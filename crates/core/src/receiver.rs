@@ -163,7 +163,6 @@ pub fn build_index(t: &Topology) -> SpatialIndex {
 /// for transmitters) so the kernels can report query totals in one
 /// counter update per batch.
 #[inline]
-// rim-lint: allow(panic-freedom) — `out` has one slot per node; the index only yields node ids
 fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [usize]) -> u64 {
     if t.graph().degree(u) == 0 {
         return 0; // isolated nodes transmit nothing

@@ -198,7 +198,6 @@ impl UniformGrid {
     /// Occupancy of every non-empty bucket, in cell order — the cell
     /// occupancy distribution the observability layer histograms at build
     /// time.
-    // rim-lint: allow(panic-freedom) — `windows(2)` always yields two-element slices
     pub fn nonempty_bucket_sizes(&self) -> impl Iterator<Item = usize> + '_ {
         self.starts
             .windows(2)
@@ -223,7 +222,6 @@ impl UniformGrid {
     /// Index of the nearest indexed point to `c` that is not `exclude`
     /// (pass `usize::MAX` to exclude nothing). Returns `None` when no
     /// eligible point exists. Ties break towards the smaller index.
-    // rim-lint: allow(panic-freedom) — disk queries only yield indexed point ids
     pub fn nearest(&self, c: Point, exclude: usize) -> Option<usize> {
         if self.points.is_empty() || (self.points.len() == 1 && exclude == 0) {
             return None;

@@ -64,7 +64,6 @@ impl AdjacencyList {
     }
 
     /// Inserts edge `{u, v}`; returns `false` if it already exists.
-    // rim-lint: allow(panic-freedom) — u and v are range-asserted before any indexing
     pub fn add_edge(&mut self, u: usize, v: usize, weight: f64) -> bool {
         assert!(u != v, "self-loop at {u}");
         assert!(u < self.adj.len() && v < self.adj.len(), "vertex out of range");
@@ -138,7 +137,6 @@ impl AdjacencyList {
     }
 
     /// Collects all edges, each once, sorted by `(u, v)`.
-    // rim-lint: allow(panic-freedom) — u iterates `0..adj.len()`
     pub fn edges(&self) -> Vec<Edge> {
         let mut out = Vec::with_capacity(self.num_edges);
         for u in 0..self.adj.len() {

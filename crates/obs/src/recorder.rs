@@ -150,7 +150,9 @@ impl ObsSink for Recorder {
         relock(shard.hists.lock()).entry(name).or_default().record(value);
     }
 
-    // rim-lint: allow(panic-freedom) — the arena is non-empty right after the push
+    // The arena is non-empty right after the push, and the span clock feeds
+    // wall_ns in the observability snapshot only; engine results never read it.
+    // rim-lint: allow(panic-freedom, engine-determinism)
     fn span_enter(&self, name: &'static str) -> SpanId {
         let parent = SPAN_STACK.with(|s| s.borrow().last().copied());
         let thread = THREAD_ID.with(|id| *id);

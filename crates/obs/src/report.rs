@@ -298,7 +298,6 @@ impl<'a> Parser<'a> {
         Ok(())
     }
 
-    // rim-lint: allow(panic-freedom) — `peek` guarantees `pos` is in bounds for the slice
     fn value(&mut self) -> Result<Value, String> {
         match self.peek()? {
             b'{' => self.object().map(Value::Obj),
@@ -317,7 +316,6 @@ impl<'a> Parser<'a> {
         }
     }
 
-    // rim-lint: allow(panic-freedom) — `start <= pos <= len` holds through the digit scan
     fn number(&mut self) -> Result<Value, String> {
         let start = self.pos;
         while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
@@ -328,7 +326,6 @@ impl<'a> Parser<'a> {
         text.parse::<u64>().map(Value::Num).map_err(|e| format!("bad number `{text}`: {e}"))
     }
 
-    // rim-lint: allow(panic-freedom) — `pos - 1` re-borrows the byte just checked via `get`
     fn string(&mut self) -> Result<String, String> {
         self.expect_byte(b'"')?;
         let mut out = String::new();

@@ -555,8 +555,17 @@ fn panic_sites(tokens: &[Token], (b0, b1): (usize, usize)) -> Vec<(u32, &'static
 /// `// rim-lint: allow(panic-freedom)` pragma — accepted at the
 /// offending site or on the function's `fn` line (one justification
 /// per function, not one per index expression).
+///
+/// Slice indexing is special-cased through the expression-level
+/// const-bounds pass ([`crate::flow::audit_indexing`]): an index the
+/// pass *proves* in range (a `len()`-derived loop bound, an
+/// `enumerate` index, a guarded or asserted bound, a `vec![_; n]`
+/// length) is no obligation at all, so those sites need no pragma.
+/// Only the first unproven index per function is reported, keeping the
+/// one-justification-per-function triage contract.
 pub fn audit_panic_freedom(
     ws: &Workspace,
+    flow: &crate::flow::Flow,
     pragmas: &BTreeMap<String, rules::Pragmas>,
     out: &mut Vec<Diagnostic>,
 ) {
@@ -582,7 +591,22 @@ pub fn audit_panic_freedom(
             continue;
         };
         let file = &ws.files[f.file_idx];
-        for (line, what) in panic_sites(file.tokens, f.body) {
+        let mut sites = panic_sites(file.tokens, f.body);
+        // Replace the token-level indexing category with the bounds
+        // pass's verdict when a parsed body is available.
+        if let Some(body) = &flow.bodies[i] {
+            sites.retain(|(_, what)| !what.starts_with("slice indexing"));
+            let audit = crate::flow::audit_indexing(body);
+            if let Some(line) = audit.first_unproven() {
+                sites.push((
+                    line,
+                    "slice indexing the const-bounds pass cannot prove in range \
+                     (`[…]` can panic out of bounds)",
+                ));
+            }
+            sites.sort();
+        }
+        for (line, what) in sites {
             let allowed = pragmas.get(file.rel).is_some_and(|p| {
                 p.allows("panic-freedom", line) || p.allows("panic-freedom", f.line)
             });
@@ -872,7 +896,7 @@ pub fn audit_dead_pub(
 /// histograms are no-ops by default) but must never install a recorder
 /// from library code — otherwise merely linking a crate would silently
 /// turn instrumentation on for the whole process.
-pub const OBS_SINK_INSTALLERS: &[&str] = &["rim-cli", "rim-bench", "rim-obs"];
+pub const OBS_SINK_INSTALLERS: &[&str] = &["rim-cli", "rim-bench", "rim-obs", "rim-xtask"];
 
 /// Per-member audit: library code outside the installer allowlist must
 /// not call `rim_obs::install` / `rim_obs::install_recorder` (test
@@ -1362,7 +1386,7 @@ mod tests {
     fn run_graph_audit(
         lib: &str,
         test_src: Option<&str>,
-        run: fn(&Workspace, &BTreeMap<String, rules::Pragmas>, &mut Vec<Diagnostic>),
+        run: impl Fn(&Workspace, &BTreeMap<String, rules::Pragmas>, &mut Vec<Diagnostic>),
     ) -> Vec<Diagnostic> {
         let member = member_with_sources(lib, test_src);
         let members = [member];
@@ -1402,7 +1426,9 @@ mod tests {
         let lib = "pub fn parallel_map(v: Vec<u32>) -> u32 { helper(v) }\n\
                    fn helper(v: Vec<u32>) -> u32 { v[0] }\n\
                    fn unrelated(v: Vec<u32>) -> u32 { v.first().unwrap() + v[1] }\n";
-        let out = run_graph_audit(lib, None, audit_panic_freedom);
+        let out = run_graph_audit(lib, None, |ws, p, out| {
+            audit_panic_freedom(ws, &crate::flow::analyze(ws), p, out)
+        });
         assert_eq!(out.len(), 1, "{out:#?}");
         assert_eq!(out[0].rule, "panic-freedom");
         assert_eq!(out[0].line, 2);
@@ -1415,14 +1441,18 @@ mod tests {
         let on_fn = "pub fn parallel_map(v: Vec<u32>) -> u32 { helper(v) }\n\
                      // rim-lint: allow(panic-freedom) — caller guarantees non-empty\n\
                      fn helper(v: Vec<u32>) -> u32 { let x = v[0];\nv.len() - x as usize }\n";
-        let out = run_graph_audit(on_fn, None, audit_panic_freedom);
+        let out = run_graph_audit(on_fn, None, |ws, p, out| {
+            audit_panic_freedom(ws, &crate::flow::analyze(ws), p, out)
+        });
         // One pragma on the `fn` line covers every category in the body.
         assert!(out.is_empty(), "{out:#?}");
         let at_site = "pub fn parallel_map(v: Vec<u32>) -> u32 { helper(v) }\n\
                        fn helper(v: Vec<u32>) -> u32 {\n\
                        v[0] // rim-lint: allow(panic-freedom) — non-empty by contract\n\
                        }\n";
-        let out = run_graph_audit(at_site, None, audit_panic_freedom);
+        let out = run_graph_audit(at_site, None, |ws, p, out| {
+            audit_panic_freedom(ws, &crate::flow::analyze(ws), p, out)
+        });
         assert!(out.is_empty(), "{out:#?}");
     }
 

@@ -2,20 +2,34 @@
 //! workspace.
 //!
 //! Run as `cargo run -p rim-xtask -- lint` (diagnostics; `--rule` /
-//! `--explain` filter and document rules) or `-- graph --out
-//! results/callgraph.jsonl` (call-graph export). Four layers:
+//! `--explain` filter and document rules, `--profile` reports
+//! per-rule wall-clock via `rim-obs` spans) or `-- graph --out
+//! results/callgraph.jsonl` (call-graph export; `--check` gates on
+//! staleness of the committed file). Six layers:
 //!
 //! * **Token rules** ([`rules`]) over a comment/string-aware token
-//!   stream ([`lexer`]): `float-eq`, `squared-distance-mismatch`,
-//!   `no-unwrap-in-lib`, `forbid-unsafe`, `pub-doc-coverage`, and
-//!   `unknown-pragma-rule` (every pragma must name a rule registered
-//!   in [`rules::RULE_CATALOG`]). Intentional violations are silenced
+//!   stream ([`lexer`]): `float-eq`, `no-unwrap-in-lib`,
+//!   `forbid-unsafe`, `pub-doc-coverage`, and `unknown-pragma-rule`
+//!   (every pragma must name a rule registered in
+//!   [`rules::RULE_CATALOG`]). Intentional violations are silenced
 //!   in place with `// rim-lint: allow(<rule>)` (same + next line) or
 //!   `// rim-lint: allow-file(<rule>)` (whole file).
 //! * **Item trees** ([`parse`]): a brace-matched parser recovering
 //!   module/impl/trait nesting and `fn` items with opaque token-range
 //!   bodies; self-tested against every `.rs` file in the repository
 //!   and fuzzed with `rim_rng::prop`.
+//! * **Expression trees** ([`expr`]): a Pratt parser turning each fn
+//!   body's token range into statement/expression trees, with error
+//!   recovery that the self-test requires to never trigger on the
+//!   workspace itself.
+//! * **Dataflow passes** ([`flow`]): units-of-measure inference
+//!   powering the dataflow `squared-distance-mismatch` (the legacy
+//!   token scanner is retained and the gate asserts agreement), the
+//!   `engine-determinism` rule (no atomic read-modify-write, RNG
+//!   draw, wall-clock read, or sink installation reachable from the
+//!   determinism-pinned engine roots), and a const-bounds pass whose
+//!   in-range proofs discharge `panic-freedom` slice-indexing
+//!   obligations.
 //! * **Workspace call graph** ([`model`]): heuristic name resolution
 //!   restricted to each caller crate's dependency closure, feeding the
 //!   graph-driven rules `panic-freedom` (no panicking construct
@@ -44,6 +58,8 @@
 #![forbid(unsafe_code)]
 
 pub mod audit;
+pub mod expr;
+pub mod flow;
 pub mod model;
 pub mod parse;
 pub mod lexer;
@@ -174,6 +190,7 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
             [(true, &member.lib_sources), (false, &member.test_sources)]
         {
             for (rel, tokens, ranges) in sources {
+                let _span = rim_obs::span("lint.token_rules");
                 let pragmas = rules::Pragmas::parse(tokens);
                 let ctx = rules::FileCtx {
                     path: rel,
@@ -182,7 +199,6 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
                     test_mod_ranges: ranges,
                 };
                 rules::float_eq(&ctx, &mut out);
-                rules::squared_distance_mismatch(&ctx, &mut out);
                 rules::unknown_pragma_rule(&ctx, &mut out);
                 if is_lib_source && has_lib && is_lib_code(rel) {
                     rules::no_unwrap_in_lib(&ctx, &mut out);
@@ -195,24 +211,57 @@ pub fn run_lint(root: &Path) -> Result<Vec<Diagnostic>, String> {
                 }
             }
         }
+        let _span = rim_obs::span("lint.member_audits");
         audit::audit_member(member, &workspace_crates, &mut out);
     }
 
     // Call-graph-driven audits: build the syntactic workspace model once
     // and run the reachability rules over it.
-    let ws = model::build(&members);
+    let ws = {
+        let _span = rim_obs::span("lint.model_build");
+        model::build(&members)
+    };
     let pragma_map: std::collections::BTreeMap<String, rules::Pragmas> = ws
         .files
         .iter()
         .map(|f| (f.rel.to_string(), rules::Pragmas::parse(f.tokens)))
         .collect();
-    audit::audit_panic_freedom(&ws, &pragma_map, &mut out);
-    audit::audit_atomic_ordering(&members, &pragma_map, &mut out);
-    audit::audit_lock_discipline(&ws, &pragma_map, &mut out);
-    audit::audit_dead_pub(&ws, &pragma_map, &mut out);
-    audit::audit_oracle_retained_graph(&ws, &mut out);
-    audit::audit_obs_noop_default(&members, &mut out);
-    audit::audit_retained_cli_e2e(&members, &mut out);
+    // Expression-level dataflow: parse every body once, infer unit
+    // signatures, then run the passes that share the parsed trees.
+    let df = {
+        let _span = rim_obs::span("lint.flow_analyze");
+        flow::analyze(&ws)
+    };
+    {
+        let _span = rim_obs::span("lint.rule.panic_freedom");
+        audit::audit_panic_freedom(&ws, &df, &pragma_map, &mut out);
+    }
+    {
+        let _span = rim_obs::span("lint.rule.squared_distance_dataflow");
+        flow::check_unit_mismatch(&ws, &df, &pragma_map, &mut out);
+    }
+    {
+        let _span = rim_obs::span("lint.rule.engine_determinism");
+        flow::audit_engine_determinism(&ws, &df, &pragma_map, &mut out);
+    }
+    {
+        let _span = rim_obs::span("lint.rule.atomic_ordering");
+        audit::audit_atomic_ordering(&members, &pragma_map, &mut out);
+    }
+    {
+        let _span = rim_obs::span("lint.rule.lock_discipline");
+        audit::audit_lock_discipline(&ws, &pragma_map, &mut out);
+    }
+    {
+        let _span = rim_obs::span("lint.rule.dead_pub");
+        audit::audit_dead_pub(&ws, &pragma_map, &mut out);
+    }
+    {
+        let _span = rim_obs::span("lint.rule.retention_audits");
+        audit::audit_oracle_retained_graph(&ws, &mut out);
+        audit::audit_obs_noop_default(&members, &mut out);
+        audit::audit_retained_cli_e2e(&members, &mut out);
+    }
     out.sort_by(|a, b| {
         (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule))
     });

@@ -2,14 +2,18 @@
 //!
 //! ```text
 //! cargo run -p rim-xtask -- lint  [--format human|jsonl] [--root PATH]
-//!                                 [--rule NAME] [--explain RULE]
-//! cargo run -p rim-xtask -- graph [--root PATH] [--out PATH]
+//!                                 [--rule NAME] [--explain RULE] [--profile]
+//! cargo run -p rim-xtask -- graph [--root PATH] [--out PATH] [--check]
 //! ```
 //!
 //! `lint` exit codes: `0` clean, `1` diagnostics found, `2` usage or
-//! I/O error. `graph` writes the workspace call graph as JSONL (one
-//! `fn` record per definition, one `edge` record per resolved call) to
-//! `--out` (default `results/callgraph.jsonl`).
+//! I/O error; `--profile` installs the `rim-obs` recorder and prints
+//! per-rule wall-clock after the findings. `graph` writes the
+//! workspace call graph as JSONL (one `fn` record per definition, one
+//! `edge` record per resolved call) to `--out` (default
+//! `results/callgraph.jsonl`); `--check` instead compares the freshly
+//! built graph against the committed file and exits `1` if it is
+//! stale.
 
 #![forbid(unsafe_code)]
 
@@ -17,8 +21,8 @@ use std::path::PathBuf;
 use std::process::ExitCode;
 
 const USAGE: &str = "usage: cargo run -p rim-xtask -- <command>\n\
-  lint  [--format human|jsonl] [--root PATH] [--rule NAME] [--explain RULE]\n\
-  graph [--root PATH] [--out PATH]";
+  lint  [--format human|jsonl] [--root PATH] [--rule NAME] [--explain RULE] [--profile]\n\
+  graph [--root PATH] [--out PATH] [--check]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -28,6 +32,8 @@ fn main() -> ExitCode {
     let mut rule_filter: Option<String> = None;
     let mut explain: Option<String> = None;
     let mut command: Option<String> = None;
+    let mut profile = false;
+    let mut check = false;
 
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -52,6 +58,8 @@ fn main() -> ExitCode {
                 Some(r) => explain = Some(r),
                 None => return usage_error("--explain takes a rule name"),
             },
+            "--profile" => profile = true,
+            "--check" => check = true,
             "--help" | "-h" => {
                 println!("{USAGE}");
                 return ExitCode::SUCCESS;
@@ -103,14 +111,20 @@ fn main() -> ExitCode {
     };
 
     match command.as_deref() {
-        Some("lint") => run_lint_command(&root, &format, rule_filter.as_deref()),
-        Some("graph") => run_graph_command(&root, out_path),
+        Some("lint") => run_lint_command(&root, &format, rule_filter.as_deref(), profile),
+        Some("graph") => run_graph_command(&root, out_path, check),
         Some(c) => usage_error(&format!("unknown command `{c}`")),
         None => usage_error("missing command"),
     }
 }
 
-fn run_lint_command(root: &std::path::Path, format: &str, rule: Option<&str>) -> ExitCode {
+fn run_lint_command(
+    root: &std::path::Path,
+    format: &str,
+    rule: Option<&str>,
+    profile: bool,
+) -> ExitCode {
+    let recorder = profile.then(rim_obs::install_recorder);
     let diagnostics = match rim_xtask::run_lint(root) {
         Ok(d) => d,
         Err(e) => {
@@ -130,6 +144,9 @@ fn run_lint_command(root: &std::path::Path, format: &str, rule: Option<&str>) ->
             println!("{}", d.human());
         }
     }
+    if let Some(rec) = recorder {
+        print_profile(&rec.snapshot());
+    }
     if diagnostics.is_empty() {
         eprintln!("rim-xtask lint: clean ({})", root.display());
         ExitCode::SUCCESS
@@ -139,7 +156,26 @@ fn run_lint_command(root: &std::path::Path, format: &str, rule: Option<&str>) ->
     }
 }
 
-fn run_graph_command(root: &std::path::Path, out_path: Option<PathBuf>) -> ExitCode {
+/// Aggregates span wall-clock per name from a profiling snapshot and
+/// prints one line per span, widest first. Nested spans (the per-rule
+/// `lint.rule.*` spans inside `lint`) each report their own wall time,
+/// so the lines do not sum to the total.
+fn print_profile(snap: &rim_obs::Snapshot) {
+    let mut per_name: std::collections::BTreeMap<&str, (u64, u64)> = std::collections::BTreeMap::new();
+    for span in &snap.spans {
+        let entry = per_name.entry(span.name.as_str()).or_insert((0, 0));
+        entry.0 += 1;
+        entry.1 += span.wall_ns.unwrap_or(0);
+    }
+    let mut rows: Vec<_> = per_name.into_iter().collect();
+    rows.sort_by(|a, b| b.1 .1.cmp(&a.1 .1).then(a.0.cmp(b.0)));
+    eprintln!("rim-xtask lint --profile: per-rule wall-clock");
+    for (name, (count, total_ns)) in rows {
+        eprintln!("  {:<40} {:>9.3} ms  ({count} span(s))", name, total_ns as f64 / 1e6);
+    }
+}
+
+fn run_graph_command(root: &std::path::Path, out_path: Option<PathBuf>, check: bool) -> ExitCode {
     let members = match rim_xtask::load_workspace(root) {
         Ok(m) => m,
         Err(e) => {
@@ -150,6 +186,20 @@ fn run_graph_command(root: &std::path::Path, out_path: Option<PathBuf>) -> ExitC
     let ws = rim_xtask::model::build(&members);
     let jsonl = ws.export_jsonl();
     let out_path = out_path.unwrap_or_else(|| root.join("results/callgraph.jsonl"));
+    if check {
+        let committed = std::fs::read_to_string(&out_path).unwrap_or_default();
+        return if committed == jsonl {
+            eprintln!("rim-xtask graph --check: {} is up to date", out_path.display());
+            ExitCode::SUCCESS
+        } else {
+            eprintln!(
+                "rim-xtask graph --check: {} is stale; regenerate with \
+                 `cargo run -p rim-xtask -- graph`",
+                out_path.display()
+            );
+            ExitCode::FAILURE
+        };
+    }
     if let Some(parent) = out_path.parent() {
         if let Err(e) = std::fs::create_dir_all(parent) {
             eprintln!("error: {}: {e}", parent.display());

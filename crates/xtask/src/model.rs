@@ -60,6 +60,10 @@ pub struct FnDef {
     pub trait_impl: bool,
     /// Body token range within the file's token vector.
     pub body: (usize, usize),
+    /// Signature token range: from the item's first token (attributes
+    /// included) to the start of the body — enough to recover
+    /// parameter names for the dataflow passes in [`crate::flow`].
+    pub sig: (usize, usize),
     /// Index into [`Workspace::files`].
     pub file_idx: usize,
 }
@@ -197,6 +201,7 @@ pub fn build<'a>(members: &'a [Member]) -> Workspace<'a> {
                     in_test,
                     trait_impl,
                     body: item.body,
+                    sig: (item.span.0, item.body.0.max(item.span.0)),
                     file_idx,
                 });
             }

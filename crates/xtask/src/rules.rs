@@ -23,8 +23,18 @@ pub const RULE_CATALOG: &[(&str, &str)] = &[
     ),
     (
         "squared-distance-mismatch",
-        "a comparison mixes a squared quantity with an unsquared distance or \
-         radius; both sides must live at the same power",
+        "a comparison or add/sub mixes a squared quantity with an unsquared \
+         distance or radius; both sides must live at the same metric power \
+         (checked by the units-of-measure dataflow pass and a legacy token \
+         scanner kept in agreement)",
+    ),
+    (
+        "engine-determinism",
+        "a function reachable from a determinism-pinned root (the \
+         interference kernel, pipeline stages, the topology builders) \
+         performs an atomic read-modify-write, RNG draw, wall-clock read, or \
+         observability-sink installation; thread-count invariance requires \
+         bitwise-deterministic results",
     ),
     (
         "no-unwrap-in-lib",
@@ -133,7 +143,11 @@ const FLOAT_HINT_IDENTS: &[&str] = &[
     "MIN_POSITIVE",
 ];
 
-/// Identifiers that denote an *unsquared* metric quantity.
+/// Identifiers that denote an *unsquared* metric quantity. Kept as an
+/// explicit list (rather than every power-1 name the unit inferencer
+/// knows) because the token scanner has no dataflow to rule out
+/// loop-variable shorthands like `d`; the dataflow pass in
+/// [`crate::flow`] covers the wider net.
 const PLAIN_DIST_IDENTS: &[&str] = &["dist", "distance", "radius", "r"];
 
 /// Counter-evidence that a comparison is on integers after all: an
@@ -464,11 +478,12 @@ fn declared_float_idents(tokens: &[Token]) -> std::collections::BTreeSet<String>
     out
 }
 
-/// Is this operand window "squared"? True for idents containing `sq`,
+/// Is this operand window "squared"? True for idents the shared unit
+/// inferencer classifies at power 2 (`dist_sq`, `norm2`, `r2`, …),
 /// `powi(2)`, and self-multiplications like `r * r`.
 fn window_is_squared(window: &[&Token]) -> bool {
     for (i, t) in window.iter().enumerate() {
-        if t.kind == Kind::Ident && t.text.to_ascii_lowercase().contains("sq") {
+        if t.kind == Kind::Ident && crate::flow::ident_unit(&t.text).power() == Some(2) {
             return true;
         }
         if t.kind == Kind::Ident && t.text == "powi" {

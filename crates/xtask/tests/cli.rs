@@ -1,6 +1,7 @@
 //! End-to-end coverage of the `rim-xtask` command line: rule-name
-//! validation for `--rule`/`--explain`, and the `graph` exporter
-//! producing a non-empty JSONL file.
+//! validation for `--rule`/`--explain`, the `graph` exporter producing
+//! a non-empty JSONL file, the `graph --check` staleness gate, and the
+//! `lint --profile` per-rule timing report.
 
 use std::path::Path;
 use std::process::Command;
@@ -70,4 +71,67 @@ fn graph_writes_nonempty_jsonl() {
     );
     let err = String::from_utf8_lossy(&out.stderr);
     assert!(err.contains("rim-xtask graph:"), "{err}");
+}
+
+#[test]
+fn graph_check_passes_on_fresh_and_fails_on_stale() {
+    let dir = std::env::temp_dir().join(format!("rim-xtask-check-{}", std::process::id()));
+    let out_path = dir.join("callgraph.jsonl");
+    let write = bin()
+        .arg("graph")
+        .arg("--root")
+        .arg(workspace_root())
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("spawn");
+    assert!(write.status.success(), "{write:?}");
+    // Freshly written file: --check must pass.
+    let fresh = bin()
+        .args(["graph", "--check", "--root"])
+        .arg(workspace_root())
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("spawn");
+    assert!(fresh.status.success(), "{fresh:?}");
+    assert!(String::from_utf8_lossy(&fresh.stderr).contains("up to date"), "{fresh:?}");
+    // Corrupted file: --check must fail and must not rewrite it.
+    std::fs::write(&out_path, "{\"type\":\"fn\"}\n").expect("truncate");
+    let stale = bin()
+        .args(["graph", "--check", "--root"])
+        .arg(workspace_root())
+        .arg("--out")
+        .arg(&out_path)
+        .output()
+        .expect("spawn");
+    assert_eq!(stale.status.code(), Some(1), "{stale:?}");
+    assert!(String::from_utf8_lossy(&stale.stderr).contains("stale"), "{stale:?}");
+    let after = std::fs::read_to_string(&out_path).expect("file still there");
+    let _ = std::fs::remove_dir_all(&dir);
+    assert_eq!(after, "{\"type\":\"fn\"}\n", "--check must not rewrite the file");
+}
+
+#[test]
+fn lint_profile_reports_per_rule_wall_clock() {
+    let out = bin()
+        .args(["lint", "--profile", "--root"])
+        .arg(workspace_root())
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{out:?}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("per-rule wall-clock"), "{err}");
+    for span in [
+        "lint.model_build",
+        "lint.flow_analyze",
+        "lint.rule.panic_freedom",
+        "lint.rule.squared_distance_dataflow",
+        "lint.rule.engine_determinism",
+        "lint.token_rules",
+    ] {
+        assert!(err.contains(span), "missing span `{span}` in:\n{err}");
+    }
+    assert!(err.contains("ms"), "{err}");
+    assert!(err.contains("clean"), "profiling must not change the verdict: {err}");
 }

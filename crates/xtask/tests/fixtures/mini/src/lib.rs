@@ -26,11 +26,18 @@ pub fn ok() -> u32 {
     demo_core::seven()
 }
 
+/// Determinism-pinned engine root that reads the wall clock —
+/// deliberately wrong for the fixture.
+pub fn interference_vector_with(n: u64) -> u64 {
+    n + std::time::Instant::now().elapsed().as_nanos() as u64
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
     fn fixture_items_are_exercised() {
         let _ = (super::check(1.0), super::nearby(1.0, 2.0), super::quiet(2.0));
         let _ = (super::boom(Some(3)), super::ok());
+        let _ = super::interference_vector_with(1);
     }
 }

@@ -86,17 +86,74 @@ fn graph_oracle_verdicts_agree_with_the_token_scan() {
 }
 
 #[test]
+fn committed_call_graph_export_is_fresh() {
+    // `results/callgraph.jsonl` is a committed artifact; `graph --check`
+    // in the CLI and this test both fail when a source change alters the
+    // graph without the export being regenerated
+    // (`cargo run -p rim-xtask -- graph`).
+    let members = rim_xtask::load_workspace(root()).expect("workspace loads");
+    let ws = rim_xtask::model::build(&members);
+    let path = root().join("results/callgraph.jsonl");
+    let committed = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("{} must be committed: {e}", path.display()));
+    assert!(
+        committed == ws.export_jsonl(),
+        "{} is stale; regenerate with `cargo run -p rim-xtask -- graph`",
+        path.display()
+    );
+}
+
+#[test]
+fn squared_distance_verdicts_agree_between_scanner_and_dataflow() {
+    // The units-of-measure dataflow pass replaced the token-window
+    // scanner in `run_lint`, but the scanner is retained as a second
+    // opinion: on the real workspace both must be clean. A divergence
+    // means the unit inferencer regressed (false positive) or the
+    // scanner's heuristics drifted from the lattice (false negative).
+    let members = rim_xtask::load_workspace(root()).expect("workspace loads");
+    let mut legacy = Vec::new();
+    for member in &members {
+        for sources in [&member.lib_sources, &member.test_sources] {
+            for (rel, tokens, ranges) in sources {
+                let pragmas = rim_xtask::rules::Pragmas::parse(tokens);
+                let ctx = rim_xtask::rules::FileCtx {
+                    path: rel,
+                    tokens,
+                    pragmas: &pragmas,
+                    test_mod_ranges: ranges,
+                };
+                rim_xtask::rules::squared_distance_mismatch(&ctx, &mut legacy);
+            }
+        }
+    }
+    let ws = rim_xtask::model::build(&members);
+    let flow = rim_xtask::flow::analyze(&ws);
+    let pragma_map = ws
+        .files
+        .iter()
+        .map(|f| (f.rel.to_string(), rim_xtask::rules::Pragmas::parse(f.tokens)))
+        .collect();
+    let mut dataflow = Vec::new();
+    rim_xtask::flow::check_unit_mismatch(&ws, &flow, &pragma_map, &mut dataflow);
+    let legacy: Vec<String> = legacy.iter().map(|d| d.human()).collect();
+    let dataflow: Vec<String> = dataflow.iter().map(|d| d.human()).collect();
+    assert!(legacy.is_empty(), "token scanner found: {legacy:#?}");
+    assert!(dataflow.is_empty(), "dataflow pass found: {dataflow:#?}");
+}
+
+#[test]
 fn lint_runtime_stays_within_budget() {
     // The whole point of an in-tree linter is that it rides along with
-    // `cargo test`. Parsing every file, building the call graph, and
-    // running all rules must stay comfortably interactive even in debug
-    // builds; 30s is ~20x the current debug-profile cost, so this only
-    // trips on accidental quadratic blowups, not on slow CI machines.
+    // `cargo test`. Parsing every file, building the call graph, running
+    // the expression-level dataflow passes, and running all rules must
+    // stay comfortably interactive even in debug builds; 45s is ~20x the
+    // current debug-profile cost, so this only trips on accidental
+    // quadratic blowups, not on slow CI machines.
     let start = Instant::now();
     rim_xtask::run_lint(root()).expect("lint must run on the workspace");
     let elapsed = start.elapsed();
     assert!(
-        elapsed < Duration::from_secs(30),
+        elapsed < Duration::from_secs(45),
         "full lint took {elapsed:?}; the gate must stay cheap"
     );
 }
