@@ -3,6 +3,10 @@
 use crate::args::{Args, UsageError};
 use rim_core::analysis::InterferenceSummary;
 use rim_core::optimal::{min_interference_topology, SolverLimits};
+use rim_core::physical::{
+    dbm_to_mw, mw_to_dbm, physical_interference_vector_with, sinr_interference_with, PhysModel,
+    PhysParams,
+};
 use rim_core::receiver::{graph_interference, Engine};
 use rim_core::sender::sender_graph_interference;
 use rim_highway::HighwayInstance;
@@ -26,7 +30,11 @@ commands:
             [--obs human|jsonl]   (spans/counters/histograms on stderr)
             [--timing true]   (alias for --obs human)
   analyze   --nodes FILE --topology FILE
-            [--engine naive|indexed|parallel|auto]   (interference kernel)
+            [--engine naive|indexed|parallel|physical-naive|physical-indexed|auto]
+            [--phy off|disk|logdist]   (append a SINR physical-model section;
+              disk = disk-equivalent instantiation, logdist takes
+              [--alpha A] [--power-dbm P] [--theta-dbm T] [--noise-dbm N]
+              [--beta-db B] [--sigma-db S] [--phy-seed K])
             [--obs human|jsonl]
   optimal   --nodes FILE [--max-steps N]   (exact solver; n <= 12)
   simulate  --nodes FILE --topology FILE [--slots N] [--mac csma|aloha]
@@ -217,12 +225,44 @@ pub fn analyze(args: &Args) -> Result<(), UsageError> {
         load_nodes(args)?
     };
     let topology = load_topology(args, &nodes)?;
+    let phy = args.opt("phy", "off");
+    let phys = match phy.as_str() {
+        "off" => None,
+        "disk" => Some(PhysModel::disk_equivalent(&topology)),
+        "logdist" => {
+            let alpha: f64 = args.opt_parse("alpha", 3.0)?;
+            let power_dbm: f64 = args.opt_parse("power-dbm", 0.0)?;
+            let theta_dbm: f64 = args.opt_parse("theta-dbm", -85.0)?;
+            let noise_dbm: f64 = args.opt_parse("noise-dbm", -100.0)?;
+            let beta_db: f64 = args.opt_parse("beta-db", 10.0)?;
+            let sigma_db: f64 = args.opt_parse("sigma-db", 0.0)?;
+            let phy_seed: u64 = args.opt_parse("phy-seed", 0)?;
+            let params =
+                PhysParams::from_link_budget(alpha, theta_dbm, noise_dbm, beta_db, sigma_db, phy_seed);
+            let power_mw = vec![dbm_to_mw(power_dbm); topology.num_nodes()];
+            Some(PhysModel::with_params(&topology, params, &power_mw))
+        }
+        other => {
+            return Err(UsageError(format!(
+                "unknown --phy mode {other} (expected off, disk or logdist)"
+            )))
+        }
+    };
     args.finish()?;
     let udg = {
         let _s = rim_obs::span("udg");
         unit_disk_graph(&nodes)
     };
     let summary = InterferenceSummary::with_engine(&topology, engine);
+    // Physical section computed inside the root span so its kernels show
+    // up in the --obs report.
+    let phys_report = phys.as_ref().map(|m| {
+        let cov = physical_interference_vector_with(m, true);
+        let sinr_mw = sinr_interference_with(m, true);
+        let worst_cov = cov.iter().copied().max().unwrap_or(0);
+        let worst_mw = sinr_mw.iter().copied().fold(0.0f64, f64::max);
+        (worst_cov, worst_mw)
+    });
     drop(root);
     emit_obs(mode, rec);
     println!("nodes:                    {}", nodes.len());
@@ -243,6 +283,20 @@ pub fn analyze(args: &Args) -> Result<(), UsageError> {
     println!("energy (alpha = 2):       {:.4}", topology.energy(2.0));
     if let Some(v) = summary.argmax() {
         println!("worst node:               {v} (I = {})", summary.per_node[v]);
+    }
+    if let (Some(m), Some((worst_cov, worst_mw))) = (&phys, phys_report) {
+        let p = m.params();
+        println!("physical model:           {phy} (alpha = {}, beta = {:.2})", p.alpha, p.beta);
+        println!("physical interference I:  {worst_cov}");
+        if worst_mw > 0.0 {
+            println!(
+                "worst SINR interference:  {:.3} dBm ({:.3e} mW)",
+                mw_to_dbm(worst_mw),
+                worst_mw
+            );
+        } else {
+            println!("worst SINR interference:  none (no concurrent transmitter in range)");
+        }
     }
     Ok(())
 }

@@ -383,6 +383,110 @@ fn analyze_obs_jsonl_emits_spans_and_counters() {
 }
 
 #[test]
+fn analyze_physical_engines_and_phy_sections() {
+    let dir = tmp_dir("analyze_phy");
+    let nodes = dir.join("nodes.txt");
+    let topo = dir.join("topo.txt");
+    assert!(rim()
+        .args(["generate", "--kind", "uniform-square", "--n", "60", "--side", "1.5", "--seed",
+               "3", "--out"])
+        .arg(&nodes)
+        .status()
+        .unwrap()
+        .success());
+    assert!(rim()
+        .args(["control", "--algo", "mst", "--nodes"])
+        .arg(&nodes)
+        .arg("--out")
+        .arg(&topo)
+        .status()
+        .unwrap()
+        .success());
+
+    // The physical engines must report the same interference numbers as
+    // the disk engines — the disk-limit theorem, end to end.
+    let mut reports = Vec::new();
+    for engine in ["naive", "physical-naive", "physical-indexed"] {
+        let out = rim()
+            .args(["analyze", "--engine", engine, "--nodes"])
+            .arg(&nodes)
+            .arg("--topology")
+            .arg(&topo)
+            .output()
+            .unwrap();
+        assert!(out.status.success(), "engine {engine}");
+        let text = String::from_utf8(out.stdout).unwrap();
+        assert!(text.contains(&format!("interference engine:      {engine}")));
+        let numbers: Vec<String> = text
+            .lines()
+            .filter(|l| l.starts_with("receiver interference") || l.starts_with("mean node"))
+            .map(String::from)
+            .collect();
+        reports.push(numbers);
+    }
+    assert!(reports.windows(2).all(|w| w[0] == w[1]), "engines disagree: {reports:?}");
+
+    // `--phy disk`: the physical section's interference equals the disk I.
+    let out = rim()
+        .args(["analyze", "--phy", "disk", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let grab = |prefix: &str| -> String {
+        text.lines()
+            .find(|l| l.starts_with(prefix))
+            .unwrap_or_else(|| panic!("missing `{prefix}` in:\n{text}"))
+            .rsplit_once(':')
+            .unwrap()
+            .1
+            .trim()
+            .to_string()
+    };
+    assert!(text.contains("physical model:           disk"), "{text}");
+    let disk_i = grab("receiver interference I").split_whitespace().next().unwrap().to_string();
+    assert_eq!(grab("physical interference I"), disk_i, "disk limit must hold:\n{text}");
+
+    // `--phy logdist` with custom link-budget figures and shadowing.
+    let out = rim()
+        .args(["analyze", "--phy", "logdist", "--alpha", "3.5", "--power-dbm", "5",
+               "--sigma-db", "4", "--phy-seed", "42", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("physical model:           logdist (alpha = 3.5"), "{text}");
+    assert!(text.contains("worst SINR interference:"), "{text}");
+
+    // Unknown phy mode is rejected, and logdist parameters are invalid
+    // outside logdist mode.
+    let out = rim()
+        .args(["analyze", "--phy", "rician", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --phy mode"));
+    let out = rim()
+        .args(["analyze", "--phy", "disk", "--alpha", "3.0", "--nodes"])
+        .arg(&nodes)
+        .arg("--topology")
+        .arg(&topo)
+        .output()
+        .unwrap();
+    assert!(!out.status.success(), "--alpha must be rejected outside logdist mode");
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--alpha"));
+}
+
+#[test]
 fn obs_rejects_unknown_mode() {
     let dir = tmp_dir("obs_bad_mode");
     let nodes = dir.join("nodes.txt");

@@ -25,6 +25,14 @@
 //! one `O(n)` pass — classic amortization, no query ever misses a node.
 //! The equivalence with the batch [`crate::receiver`] kernels is
 //! property-tested, including full edit-trace replays.
+//!
+//! **Physical (fixed-radii) mode.** Under the SINR model a node's
+//! coverage radius `ρ_u` comes from its transmit power, not from its
+//! farthest neighbor, so edge updates never move the radius — they only
+//! flip whether the node transmits at all. [`DynamicInterference::new_physical`]
+//! pins the per-node radii and routes every edge update through the
+//! same symmetric-difference patch with `new_r = old_r`, which reduces
+//! to a pure gating patch over the fixed disk.
 
 use rim_geom::{Point, SpatialIndex};
 use rim_graph::AdjacencyList;
@@ -55,6 +63,9 @@ pub struct DynamicInterference {
     /// query); it is re-tightened to the exact maximum at every index
     /// rebuild.
     radius_bound: f64,
+    /// Physical mode: radii are power-derived constants (coverage radii
+    /// `ρ_u`), so edge updates only flip transmit gating.
+    fixed_radii: bool,
 }
 
 impl DynamicInterference {
@@ -74,6 +85,7 @@ impl DynamicInterference {
             freq: vec![n as u32],
             cur_max: 0,
             radius_bound: 0.0,
+            fixed_radii: false,
         }
     }
 
@@ -84,6 +96,41 @@ impl DynamicInterference {
             d.insert_edge(e.u, e.v);
         }
         d
+    }
+
+    /// Starts from the empty edge set over `nodes` in **physical mode**:
+    /// node `u`'s coverage radius is pinned at `coverage_radii[u]`
+    /// (power-derived, e.g. [`crate::physical::PhysModel::coverage_radius`])
+    /// and edge updates only flip whether `u` transmits.
+    pub fn new_physical(nodes: NodeSet, coverage_radii: &[f64]) -> Self {
+        assert_eq!(nodes.len(), coverage_radii.len(), "one coverage radius per node");
+        let mut d = DynamicInterference::new(nodes);
+        for &r in coverage_radii {
+            assert!(r >= 0.0 && r.is_finite(), "coverage radii must be finite and >= 0");
+        }
+        d.radii.copy_from_slice(coverage_radii);
+        d.fixed_radii = true;
+        d
+    }
+
+    /// Starts physical-mode maintenance from a [`crate::physical::PhysModel`]
+    /// and the topology it was instantiated over: pins each node's
+    /// coverage radius `ρ_u` and replays the topology's edges. The
+    /// resulting counts equal `coverage_vector_naive(m)` (differential-
+    /// tested), and stay equal under subsequent edge edits.
+    pub fn from_physical(t: &Topology, m: &crate::physical::PhysModel) -> Self {
+        assert_eq!(t.num_nodes(), m.len(), "model and topology must agree on the node set");
+        let radii: Vec<f64> = (0..m.len()).map(|u| m.coverage_radius(u)).collect();
+        let mut d = DynamicInterference::new_physical(t.nodes().clone(), &radii);
+        for e in t.edges() {
+            d.insert_edge(e.u, e.v);
+        }
+        d
+    }
+
+    /// Whether this structure runs in physical (fixed-radii) mode.
+    pub fn is_physical(&self) -> bool {
+        self.fixed_radii
     }
 
     /// Number of nodes.
@@ -132,8 +179,15 @@ impl DynamicInterference {
             return false;
         }
         rim_obs::counter_add("dynamic.edge_inserts", 1);
-        self.set_radius(u, self.radii[u].max(d));
-        self.set_radius(v, self.radii[v].max(d));
+        if self.fixed_radii {
+            // Physical mode: the radius is power-derived and does not
+            // move; only the transmit gating of the endpoints can flip.
+            self.set_radius(u, self.radii[u]);
+            self.set_radius(v, self.radii[v]);
+        } else {
+            self.set_radius(u, self.radii[u].max(d));
+            self.set_radius(v, self.radii[v].max(d));
+        }
         true
     }
 
@@ -143,10 +197,15 @@ impl DynamicInterference {
             return false;
         }
         rim_obs::counter_add("dynamic.edge_removes", 1);
-        let ru = self.graph.max_incident_weight(u).unwrap_or(0.0);
-        let rv = self.graph.max_incident_weight(v).unwrap_or(0.0);
-        self.set_radius(u, ru);
-        self.set_radius(v, rv);
+        if self.fixed_radii {
+            self.set_radius(u, self.radii[u]);
+            self.set_radius(v, self.radii[v]);
+        } else {
+            let ru = self.graph.max_incident_weight(u).unwrap_or(0.0);
+            let rv = self.graph.max_incident_weight(v).unwrap_or(0.0);
+            self.set_radius(u, ru);
+            self.set_radius(v, rv);
+        }
         true
     }
 
@@ -176,6 +235,20 @@ impl DynamicInterference {
         self.cov.push(covered_by);
         self.histogram_add(covered_by as usize);
         self.maybe_rebuild_index();
+        v
+    }
+
+    /// Appends a new isolated node at `p` with a pinned coverage radius
+    /// — the physical-mode arrival (the radius is power-derived, known
+    /// at arrival time, and independent of future edges). The node stays
+    /// silent until its first edge, so only its *received* coverage is
+    /// charged here, exactly as in [`DynamicInterference::insert_node`].
+    pub fn insert_node_with_radius(&mut self, p: Point, coverage_r: f64) -> usize {
+        assert!(coverage_r >= 0.0 && coverage_r.is_finite(), "coverage radius must be finite and >= 0");
+        let v = self.insert_node(p);
+        if let Some(r) = self.radii.last_mut() {
+            *r = coverage_r;
+        }
         v
     }
 
@@ -453,5 +526,81 @@ mod tests {
         let d = DynamicInterference::new(NodeSet::new(vec![]));
         assert!(d.is_empty());
         assert_eq!(d.graph_interference(), 0);
+    }
+
+    /// Hand-written physical-mode oracle: `v` is covered by `u` iff `u`
+    /// has a neighbor and `dist(u,v) <= ρ_u`, with `ρ_u` the *pinned*
+    /// radius (never link-derived).
+    fn check_physical_consistent(d: &DynamicInterference, radii: &[f64]) {
+        let t = d.as_topology();
+        let n = d.len();
+        let mut want = vec![0usize; n];
+        for u in 0..n {
+            if d.graph().degree(u) == 0 {
+                continue;
+            }
+            for v in 0..n {
+                if v != u && t.nodes().pos(u).dist(&t.nodes().pos(v)) <= radii[u] {
+                    want[v] += 1;
+                }
+            }
+        }
+        let got: Vec<usize> = (0..n).map(|v| d.interference_at(v)).collect();
+        assert_eq!(got, want, "physical dynamic counts diverged from the oracle");
+        assert_eq!(d.graph_interference(), want.iter().copied().max().unwrap_or(0));
+    }
+
+    #[test]
+    fn physical_mode_pins_radii_across_edits() {
+        let ns = NodeSet::on_line(&[0.0, 0.2, 0.5, 0.9]);
+        let radii = [0.6, 0.1, 0.45, 0.3];
+        let mut d = DynamicInterference::new_physical(ns, &radii);
+        assert!(d.is_physical());
+        check_physical_consistent(&d, &radii);
+        assert!(d.insert_edge(0, 3)); // both gates open; radii stay pinned
+        check_physical_consistent(&d, &radii);
+        // rim-lint: allow(float-eq) — pinned radius must be bit-identical
+        assert!(d.radius(0) == 0.6, "edge insertion must not move a pinned radius");
+        assert!(d.insert_edge(1, 2));
+        check_physical_consistent(&d, &radii);
+        assert!(d.remove_edge(0, 3)); // gates close again
+        check_physical_consistent(&d, &radii);
+        assert!(d.remove_edge(1, 2));
+        check_physical_consistent(&d, &radii);
+        assert_eq!(d.graph_interference(), 0);
+    }
+
+    #[test]
+    fn from_physical_matches_the_batch_coverage_kernel() {
+        let t = Topology::from_pairs(
+            NodeSet::on_line(&[0.0, 0.3, 0.6, 0.9]),
+            &[(0, 1), (1, 2), (2, 3)],
+        );
+        let m = crate::physical::PhysModel::disk_equivalent(&t);
+        let mut d = DynamicInterference::from_physical(&t, &m);
+        let want = crate::physical::coverage_vector_naive(&m);
+        let got: Vec<usize> = (0..d.len()).map(|v| d.interference_at(v)).collect();
+        assert_eq!(got, want, "from_physical must reproduce the batch kernel");
+        // Edits keep agreeing with the hand oracle.
+        let radii: Vec<f64> = (0..m.len()).map(|u| m.coverage_radius(u)).collect();
+        d.remove_edge(1, 2);
+        check_physical_consistent(&d, &radii);
+        d.insert_edge(0, 2);
+        check_physical_consistent(&d, &radii);
+    }
+
+    #[test]
+    fn physical_node_arrival_carries_its_radius() {
+        let ns = NodeSet::on_line(&[0.0, 0.3]);
+        let mut d = DynamicInterference::new_physical(ns, &[0.4, 0.4]);
+        d.insert_edge(0, 1);
+        let v = d.insert_node_with_radius(Point::on_line(0.35), 2.0);
+        assert_eq!(d.interference_at(v), 2, "lands inside both pinned disks");
+        check_physical_consistent(&d, &[0.4, 0.4, 2.0]);
+        // Its first edge opens a disk of the pinned radius 2.0, not the
+        // link length.
+        d.insert_edge(v, 0);
+        check_physical_consistent(&d, &[0.4, 0.4, 2.0]);
+        assert_eq!(d.interference_at(1), 2, "the newcomer's big disk reaches node 1");
     }
 }

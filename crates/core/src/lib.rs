@@ -24,6 +24,8 @@
 //! * [`receiver`] — Definitions 3.1/3.2 (naive oracle plus indexed and
 //!   parallel engines behind [`receiver::Engine`]),
 //! * [`parallel`] — the scoped-thread range splitter the engines share,
+//! * [`physical`] — SINR physical-layer glue (`rim-phys` re-exports and
+//!   the disk-limit adapter behind the physical engines),
 //! * [`sender`] — the link-coverage measure of \[2\] for comparison,
 //! * [`dynamic`] — incrementally maintained interference under link
 //!   insertions/removals,
@@ -50,6 +52,9 @@ pub mod gathering;
 pub mod optimal;
 /// Dependency-free data parallelism on `std::thread::scope`.
 pub mod parallel;
+/// Physical-layer (SINR) model glue: `rim-phys` re-exports plus the
+/// disk-limit adapter behind the physical engines.
+pub mod physical;
 /// The receiver-centric interference measure (Definitions 3.1 and 3.2).
 pub mod receiver;
 /// Robustness of the interference measure under node arrival/departure.

@@ -1,0 +1,45 @@
+//! Glue between the disk engines and the `rim-phys` SINR model.
+//!
+//! Re-exports the physical-layer surface so downstream crates (sim,
+//! cli, bench) reach it through `rim_core::physical` without declaring
+//! their own `rim-phys` dependency, and hosts the disk-limit adapter
+//! the [`crate::receiver::Engine::PhysicalNaive`] /
+//! [`crate::receiver::Engine::PhysicalIndexed`] engines dispatch to.
+
+pub use rim_phys::{
+    build_phys_index, coverage_range, coverage_vector_indexed, coverage_vector_naive,
+    db_to_linear, dbm_to_mw, mw_to_dbm, physical_interference_vector_with,
+    sinr_interference_indexed, sinr_interference_naive, sinr_interference_with, standard_normal,
+    PhysModel, PhysParams, SinrTable,
+};
+
+use rim_udg::Topology;
+
+/// The disk-limit interference vector: instantiate
+/// [`PhysModel::disk_equivalent`] over `t` and run the physical
+/// coverage kernel. By the disk-limit theorem (`DESIGN.md` §11) the
+/// result equals `interference_vector_naive(t)` bit-for-bit — the
+/// contract `tests/physical_differential.rs` pins on every instance
+/// family.
+pub(crate) fn disk_limit_vector(t: &Topology, indexed: bool) -> Vec<usize> {
+    let m = PhysModel::disk_equivalent(t);
+    physical_interference_vector_with(&m, indexed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::receiver::interference_vector_naive;
+    use rim_udg::{NodeSet, Topology};
+
+    #[test]
+    fn disk_limit_vector_matches_the_oracle_on_a_chain() {
+        let t = Topology::from_pairs(
+            NodeSet::on_line(&[0.0, 0.3, 0.6, 0.9]),
+            &[(0, 1), (1, 2), (2, 3)],
+        );
+        let oracle = interference_vector_naive(&t);
+        assert_eq!(disk_limit_vector(&t, false), oracle);
+        assert_eq!(disk_limit_vector(&t, true), oracle);
+    }
+}

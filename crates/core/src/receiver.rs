@@ -14,6 +14,13 @@
 //! <= r_u` at distance level, so they agree *exactly* — not
 //! approximately — on every input; [`Engine::Auto`] may therefore pick
 //! by size alone.
+//!
+//! Two further engines route through the physical-layer (SINR) model of
+//! `rim-phys` in its disk-equivalent instantiation:
+//! [`Engine::PhysicalNaive`] and [`Engine::PhysicalIndexed`] compute the
+//! same counts via transmit powers and log-distance path loss, and the
+//! disk-limit theorem (`DESIGN.md` §11) makes them agree bit-for-bit
+//! with the disk kernels — a differential-tested contract.
 
 use crate::parallel::{num_threads, par_map_ranges};
 use rim_geom::SpatialIndex;
@@ -39,6 +46,13 @@ pub enum Engine {
     Indexed,
     /// Indexed scatter split across `std::thread::scope` workers.
     Parallel,
+    /// Disk-equivalent physical (SINR) model, all-pairs coverage scan —
+    /// exercises the `rim-phys` path-loss pipeline end to end while the
+    /// disk-limit theorem keeps the counts bit-identical to [`Engine::Naive`].
+    PhysicalNaive,
+    /// Disk-equivalent physical model with one coverage-disk query per
+    /// transmitter over the shared [`SpatialIndex`].
+    PhysicalIndexed,
     /// Pick by instance size: naive below 64 nodes, indexed above,
     /// parallel from 8192 nodes when more than one core is available.
     #[default]
@@ -48,7 +62,14 @@ pub enum Engine {
 impl Engine {
     /// All selectable engines, in oracle-first order (useful for tests
     /// and help text).
-    pub const ALL: [Engine; 4] = [Engine::Naive, Engine::Indexed, Engine::Parallel, Engine::Auto];
+    pub const ALL: [Engine; 6] = [
+        Engine::Naive,
+        Engine::Indexed,
+        Engine::Parallel,
+        Engine::PhysicalNaive,
+        Engine::PhysicalIndexed,
+        Engine::Auto,
+    ];
 
     /// The CLI-facing name of this engine.
     pub fn name(self) -> &'static str {
@@ -56,6 +77,8 @@ impl Engine {
             Engine::Naive => "naive",
             Engine::Indexed => "indexed",
             Engine::Parallel => "parallel",
+            Engine::PhysicalNaive => "physical-naive",
+            Engine::PhysicalIndexed => "physical-indexed",
             Engine::Auto => "auto",
         }
     }
@@ -85,9 +108,11 @@ impl std::str::FromStr for Engine {
             "naive" => Ok(Engine::Naive),
             "indexed" => Ok(Engine::Indexed),
             "parallel" => Ok(Engine::Parallel),
+            "physical-naive" => Ok(Engine::PhysicalNaive),
+            "physical-indexed" => Ok(Engine::PhysicalIndexed),
             "auto" => Ok(Engine::Auto),
             other => Err(format!(
-                "unknown engine `{other}` (expected naive|indexed|parallel|auto)"
+                "unknown engine `{other}` (expected naive|indexed|parallel|physical-naive|physical-indexed|auto)"
             )),
         }
     }
@@ -233,11 +258,15 @@ pub fn interference_vector_with(t: &Topology, engine: Engine) -> Vec<usize> {
     let _span = rim_obs::span(match resolved {
         Engine::Naive => "interference/naive",
         Engine::Indexed => "interference/indexed",
+        Engine::PhysicalNaive => "interference/physical_naive",
+        Engine::PhysicalIndexed => "interference/physical_indexed",
         Engine::Parallel | Engine::Auto => "interference/parallel",
     });
     match resolved {
         Engine::Naive => interference_vector_naive(t),
         Engine::Indexed => interference_vector_indexed(t, &build_index(t)),
+        Engine::PhysicalNaive => crate::physical::disk_limit_vector(t, false),
+        Engine::PhysicalIndexed => crate::physical::disk_limit_vector(t, true),
         Engine::Parallel | Engine::Auto => interference_vector_parallel(t, &build_index(t)),
     }
 }

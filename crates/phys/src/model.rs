@@ -1,0 +1,288 @@
+//! The physical model: parameters, per-node derived state, and the
+//! disk-equivalent construction.
+
+use crate::pathloss::{coverage_range, db_to_linear, standard_normal};
+use rim_geom::Point;
+use rim_rng::SmallRng;
+use rim_udg::Topology;
+
+/// Parameters of the log-distance SINR model. All power-like fields
+/// are **linear milliwatts** (`_mw`); log-domain figures carry `_db`.
+/// Build one from radio-style dBm/dB figures with
+/// [`PhysParams::from_link_budget`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhysParams {
+    /// Path-loss exponent `α` (2 = free space, 3–4 = indoor/urban).
+    pub alpha: f64,
+    /// Near-field clamp: received power at distances below this is
+    /// evaluated at this distance, keeping `p/d^α` finite for
+    /// coincident nodes.
+    pub near_field: f64,
+    /// Coverage threshold `θ` in mW: `u` covers `v` iff the received
+    /// power meets it — the step function the disk model takes to its
+    /// `r_u` limit.
+    pub theta_mw: f64,
+    /// Noise floor `N` in mW. Also the interference cutoff level: a
+    /// transmitter whose signal arrives below the floor is absorbed
+    /// into it rather than summed (see `DESIGN.md` §11).
+    pub noise_mw: f64,
+    /// SINR acceptance threshold `β` (linear ratio): a frame is
+    /// received iff `S ≥ β·(N + I)`.
+    pub beta: f64,
+    /// Log-normal shadowing spread `σ` in dB; 0 disables shadowing.
+    pub sigma_db: f64,
+    /// Seed of the per-node shadowing draws ([`rim_rng::SmallRng`],
+    /// never the wall clock).
+    pub shadow_seed: u64,
+}
+
+impl Default for PhysParams {
+    /// An indoor-flavoured default: `α = 3`, −85 dBm sensitivity,
+    /// −100 dBm noise floor, 10 dB SINR margin, no shadowing.
+    fn default() -> Self {
+        PhysParams {
+            alpha: 3.0,
+            near_field: 1e-3,
+            theta_mw: crate::pathloss::dbm_to_mw(-85.0),
+            noise_mw: crate::pathloss::dbm_to_mw(-100.0),
+            beta: db_to_linear(10.0),
+            sigma_db: 0.0,
+            shadow_seed: 0,
+        }
+    }
+}
+
+impl PhysParams {
+    /// Builds parameters from radio-style log-domain figures:
+    /// sensitivity and noise floor in dBm, SINR threshold in dB.
+    pub fn from_link_budget(
+        alpha: f64,
+        theta_dbm: f64,
+        noise_dbm: f64,
+        beta_db: f64,
+        sigma_db: f64,
+        shadow_seed: u64,
+    ) -> PhysParams {
+        PhysParams {
+            alpha,
+            theta_mw: crate::pathloss::dbm_to_mw(theta_dbm),
+            noise_mw: crate::pathloss::dbm_to_mw(noise_dbm),
+            beta: db_to_linear(beta_db),
+            sigma_db,
+            shadow_seed,
+            ..PhysParams::default()
+        }
+    }
+}
+
+/// A topology instantiated under [`PhysParams`]: per-node effective
+/// powers with shadowing folded in, and the two derived radii every
+/// kernel shares — the coverage radius `ρ_u` and the noise-floor
+/// cutoff `c_u ≥ ρ_u`.
+///
+/// Transmit gating mirrors the disk kernels: a node transmits iff it
+/// has at least one neighbor, regardless of its power (a zero-length
+/// link between coincident nodes still carries traffic).
+#[derive(Debug, Clone)]
+pub struct PhysModel {
+    params: PhysParams,
+    points: Vec<Point>,
+    transmits: Vec<bool>,
+    power_mw: Vec<f64>,
+    rho: Vec<f64>,
+    cutoff: Vec<f64>,
+}
+
+impl PhysModel {
+    /// Instantiates the model with explicit per-node transmit powers
+    /// (mW). With `sigma_db > 0`, each node's power is scaled by an
+    /// independent log-normal factor `10^(X_u/10)`, `X_u ~ N(0, σ²)`,
+    /// drawn from a [`SmallRng`] seeded with `shadow_seed` — one draw
+    /// per node in index order, so the same seed always yields the
+    /// same fading landscape.
+    pub fn with_params(t: &Topology, params: PhysParams, tx_power_mw: &[f64]) -> PhysModel {
+        assert_eq!(t.num_nodes(), tx_power_mw.len(), "one transmit power per node");
+        let mut rng = SmallRng::seed_from_u64(params.shadow_seed);
+        let effective_mw: Vec<f64> = tx_power_mw
+            .iter()
+            .map(|&p_mw| {
+                assert!(p_mw >= 0.0 && p_mw.is_finite(), "powers must be finite and >= 0");
+                if params.sigma_db > 0.0 {
+                    p_mw * db_to_linear(params.sigma_db * standard_normal(&mut rng))
+                } else {
+                    p_mw
+                }
+            })
+            .collect();
+        PhysModel::assemble(t, params, effective_mw)
+    }
+
+    /// The disk-limit instantiation (`DESIGN.md` §11): `α = 2`,
+    /// `θ = 1 mW`, zero shadowing, and `p_u = r_u²`. Then
+    /// `ρ_u = √(p_u/θ) = √(r_u·r_u) = r_u` **exactly** (IEEE-754
+    /// round-to-nearest: the square root of an exact square rounds
+    /// back to its root, and dividing by 1.0 is the identity), so
+    /// physical coverage coincides bit-for-bit with the paper's disk
+    /// coverage — the contract the differential layer pins.
+    pub fn disk_equivalent(t: &Topology) -> PhysModel {
+        let params = PhysParams {
+            alpha: 2.0,
+            near_field: 1e-6,
+            theta_mw: 1.0,
+            noise_mw: 1e-12,
+            beta: 1.0,
+            sigma_db: 0.0,
+            shadow_seed: 0,
+        };
+        let power_mw: Vec<f64> = t.radii().iter().map(|&r| r * r).collect();
+        PhysModel::assemble(t, params, power_mw)
+    }
+
+    /// Shared tail of the constructors: derive gating and the two
+    /// radii. `ρ_u` solves `p_u/d^α = θ`; the cutoff solves the same
+    /// equation at the noise floor and is clamped to at least `ρ_u` so
+    /// the coverage disk is always inside the cutoff disk.
+    fn assemble(t: &Topology, params: PhysParams, power_mw: Vec<f64>) -> PhysModel {
+        let n = t.num_nodes();
+        let mut transmits = Vec::with_capacity(n);
+        let mut rho = Vec::with_capacity(n);
+        let mut cutoff = Vec::with_capacity(n);
+        for (u, &p_mw) in power_mw.iter().enumerate() {
+            transmits.push(t.graph().degree(u) > 0);
+            let rho_u = coverage_range(p_mw, params.theta_mw, params.alpha);
+            rho.push(rho_u);
+            cutoff.push(rho_u.max(coverage_range(p_mw, params.noise_mw, params.alpha)));
+        }
+        PhysModel {
+            params,
+            points: t.nodes().points().to_vec(),
+            transmits,
+            power_mw,
+            rho,
+            cutoff,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` for the empty node set.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The model parameters.
+    pub fn params(&self) -> &PhysParams {
+        &self.params
+    }
+
+    /// Position of node `u`.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn pos(&self, u: usize) -> Point {
+        self.points[u]
+    }
+
+    /// Whether node `u` transmits (has at least one neighbor).
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn transmits(&self, u: usize) -> bool {
+        self.transmits[u]
+    }
+
+    /// Effective transmit power of `u` in mW (shadowing folded in).
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn power_mw(&self, u: usize) -> f64 {
+        self.power_mw[u]
+    }
+
+    /// Coverage radius `ρ_u`: the largest distance at which `u`'s
+    /// signal still meets the coverage threshold `θ`.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn coverage_radius(&self, u: usize) -> f64 {
+        self.rho[u]
+    }
+
+    /// Interference cutoff `c_u ≥ ρ_u`: beyond it `u`'s signal falls
+    /// below the noise floor and is absorbed into it.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn cutoff(&self, u: usize) -> f64 {
+        self.cutoff[u]
+    }
+
+    /// Received power (mW) at distance `d` from transmitter `u` under
+    /// the log-distance law, with the near-field clamp applied.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn rx_power_mw(&self, u: usize, d: f64) -> f64 {
+        let clamped = d.max(self.params.near_field);
+        // rim-lint: allow(float-eq) — same exact-α fast path as coverage_range
+        let loss = if self.params.alpha == 2.0 {
+            clamped * clamped
+        } else {
+            clamped.powf(self.params.alpha)
+        };
+        self.power_mw[u] / loss
+    }
+
+    /// Received power (mW) at node `v` from transmitter `u`.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn link_rx_mw(&self, u: usize, v: usize) -> f64 {
+        self.rx_power_mw(u, self.points[u].dist(&self.points[v]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rim_udg::NodeSet;
+
+    fn chain() -> Topology {
+        Topology::from_pairs(
+            NodeSet::on_line(&[0.0, 0.3, 0.6, 0.9]),
+            &[(0, 1), (1, 2), (2, 3)],
+        )
+    }
+
+    #[test]
+    fn disk_equivalent_reproduces_the_radii_exactly() {
+        let t = chain();
+        let m = PhysModel::disk_equivalent(&t);
+        for u in 0..t.num_nodes() {
+            assert_eq!(m.coverage_radius(u).to_bits(), t.radius(u).to_bits(), "u={u}");
+            assert!(m.cutoff(u) >= m.coverage_radius(u));
+            assert_eq!(m.transmits(u), t.graph().degree(u) > 0);
+        }
+    }
+
+    #[test]
+    fn shadowing_is_seed_deterministic_and_sigma_zero_is_identity() {
+        let t = chain();
+        let powers_mw = vec![1.0; 4];
+        let mut params = PhysParams { sigma_db: 6.0, shadow_seed: 11, ..PhysParams::default() };
+        let a = PhysModel::with_params(&t, params, &powers_mw);
+        let b = PhysModel::with_params(&t, params, &powers_mw);
+        for u in 0..4 {
+            assert_eq!(a.power_mw(u).to_bits(), b.power_mw(u).to_bits(), "same seed");
+        }
+        params.shadow_seed = 12;
+        let c = PhysModel::with_params(&t, params, &powers_mw);
+        assert!(
+            (0..4).any(|u| a.power_mw(u).to_bits() != c.power_mw(u).to_bits()),
+            "different seed must move some power"
+        );
+        params.sigma_db = 0.0;
+        let plain = PhysModel::with_params(&t, params, &powers_mw);
+        for u in 0..4 {
+            assert_eq!(plain.power_mw(u).to_bits(), 1.0f64.to_bits(), "σ=0 leaves powers");
+        }
+    }
+
+    #[test]
+    fn near_field_keeps_coincident_nodes_finite() {
+        let ns = NodeSet::new(vec![Point::ORIGIN, Point::ORIGIN]);
+        let t = Topology::from_pairs(ns, &[(0, 1)]);
+        let m = PhysModel::with_params(&t, PhysParams::default(), &[1.0, 1.0]);
+        assert!(m.link_rx_mw(0, 1).is_finite());
+        assert!(m.link_rx_mw(0, 1) > 0.0);
+    }
+}

@@ -63,7 +63,9 @@ pub fn gabriel_graph_with(nodes: &NodeSet, udg: &AdjacencyList, engine: Engine) 
             }
             Topology::from_graph(nodes.clone(), g)
         }
-        Engine::Indexed => gabriel_graph_parallel(nodes, udg, 1),
+        Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed => {
+            gabriel_graph_parallel(nodes, udg, 1)
+        }
         Engine::Parallel | Engine::Auto => {
             gabriel_graph_parallel(nodes, udg, rim_par::num_threads())
         }

@@ -37,7 +37,10 @@ pub(crate) const AUTO_PARALLEL_MIN: usize = 2048;
 
 /// Resolves [`Engine::Auto`] for a construction over `n` nodes: naive
 /// below [`AUTO_NAIVE_MAX`], parallel from [`AUTO_PARALLEL_MIN`] when
-/// more than one core is available, indexed in between.
+/// more than one core is available, indexed in between. The physical
+/// (SINR) engines only change how *interference* is evaluated, not how
+/// geometric constructions run, so they normalize to their disk-side
+/// strategy twins here.
 pub(crate) fn resolve(engine: Engine, n: usize) -> Engine {
     match engine {
         Engine::Auto => {
@@ -49,6 +52,8 @@ pub(crate) fn resolve(engine: Engine, n: usize) -> Engine {
                 Engine::Indexed
             }
         }
+        Engine::PhysicalNaive => Engine::Naive,
+        Engine::PhysicalIndexed => Engine::Indexed,
         e => e,
     }
 }

@@ -63,7 +63,9 @@ pub fn relative_neighborhood_graph_with(
             }
             Topology::from_graph(nodes.clone(), g)
         }
-        Engine::Indexed => relative_neighborhood_graph_parallel(nodes, udg, 1),
+        Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed => {
+            relative_neighborhood_graph_parallel(nodes, udg, 1)
+        }
         Engine::Parallel | Engine::Auto => {
             relative_neighborhood_graph_parallel(nodes, udg, rim_par::num_threads())
         }

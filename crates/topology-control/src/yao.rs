@@ -57,7 +57,9 @@ fn cone_selection(nodes: &NodeSet, udg: &AdjacencyList, u: usize, best: &mut [Op
 pub fn yao_graph_with(nodes: &NodeSet, udg: &AdjacencyList, k: usize, engine: Engine) -> Topology {
     assert!(k >= 1, "need at least one cone");
     match pipeline::resolve(engine, nodes.len()) {
-        Engine::Naive | Engine::Indexed => yao_graph_parallel(nodes, udg, k, 1),
+        Engine::Naive | Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed => {
+            yao_graph_parallel(nodes, udg, k, 1)
+        }
         Engine::Parallel | Engine::Auto => {
             yao_graph_parallel(nodes, udg, k, rim_par::num_threads())
         }

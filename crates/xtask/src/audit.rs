@@ -361,11 +361,13 @@ pub fn audit_member(member: &Member, workspace_crates: &BTreeSet<String>, out: &
 ///
 /// The interference oracle guards the receiver-centric kernel; the
 /// witness-predicate oracles guard the index-backed Gabriel/RNG stages
-/// of the topology pipeline.
+/// of the topology pipeline; the SINR oracle guards the indexed
+/// physical-model kernel of `rim-phys`.
 pub const RETAINED_ORACLES: &[&str] = &[
     "interference_vector_naive",
     "is_gabriel_edge_naive",
     "is_rng_edge_naive",
+    "sinr_interference_naive",
 ];
 
 /// Workspace-level audit: for each retained oracle in
@@ -487,6 +489,8 @@ pub const PANIC_FREE_ROOTS: &[&str] = &[
     "parallel_map",
     "filter_edges",
     "witness_index",
+    "physical_interference_vector_with",
+    "sinr_interference_with",
 ];
 
 /// Finds the first occurrence of each panicking construct inside a
@@ -1248,7 +1252,12 @@ mod tests {
 
     #[test]
     fn retained_oracle_list_includes_the_witness_predicates() {
-        for name in ["interference_vector_naive", "is_gabriel_edge_naive", "is_rng_edge_naive"] {
+        for name in [
+            "interference_vector_naive",
+            "is_gabriel_edge_naive",
+            "is_rng_edge_naive",
+            "sinr_interference_naive",
+        ] {
             assert!(RETAINED_ORACLES.contains(&name), "{name} missing");
         }
     }

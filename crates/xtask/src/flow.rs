@@ -66,6 +66,10 @@ pub enum Unit {
     Index,
     /// Wall-clock seconds / durations.
     Seconds,
+    /// A linear power in milliwatts (`_mw` convention, `rim-phys`).
+    PowerMw,
+    /// A logarithmic power level or gain in dBm/dB (`_dbm`/`_db`).
+    PowerDbm,
     /// No information (top).
     Unknown,
 }
@@ -158,6 +162,14 @@ pub fn ident_unit(name: &str) -> Unit {
     {
         return Unit::Seconds;
     }
+    // Power domains (rim-phys): suffix-keyed only — a bare `power` stays
+    // Unknown so generic names (and this very method) are not captured.
+    if base == "mw" || base.ends_with("_mw") {
+        return Unit::PowerMw;
+    }
+    if base == "dbm" || base.ends_with("_dbm") || base == "db" || base.ends_with("_db") {
+        return Unit::PowerDbm;
+    }
     Unit::Unknown
 }
 
@@ -167,9 +179,18 @@ fn is_distance_base(base: &str) -> bool {
     base == "d" || base == "norm" || base.contains("dist") || base.starts_with("norm")
 }
 
-/// Radius-flavoured identifier bases: `r`, `radius`, `radii`.
+/// Radius-flavoured identifier bases: `r`, `radius`, `radii`, plus the
+/// physical model's derived radii `rho` (coverage) and `cutoff`
+/// (noise-floor range). `rho` is matched as a word, not a substring, so
+/// names like `threshold` stay unclassified.
 fn is_radius_base(base: &str) -> bool {
-    base == "r" || base.contains("radius") || base.contains("radii")
+    base == "r"
+        || base.contains("radius")
+        || base.contains("radii")
+        || base == "rho"
+        || base.starts_with("rho_")
+        || base.ends_with("_rho")
+        || base.contains("cutoff")
 }
 
 // ---------------------------------------------------------------------
@@ -661,8 +682,12 @@ fn tail_unit(block: &Block, env: &mut BTreeMap<String, Unit>, ctx: &UnitCtx) -> 
 
 /// The dataflow `squared-distance-mismatch`: flags comparisons and
 /// add/sub (including `+=`/`-=`) whose operands live at different
-/// metric powers. Pragmas are accepted at the site or on the `fn`
-/// line, the same contract as the legacy token scanner it upgrades.
+/// metric powers. The same walk also carries `power-domain-mismatch`:
+/// linear milliwatts (`_mw`) meeting log-domain dBm/dB (`_dbm`/`_db`)
+/// in a comparison or addition — the classic link-budget bug the
+/// `rim-phys` naming convention exists to prevent. Pragmas are accepted
+/// at the site or on the `fn` line, the same contract as the legacy
+/// token scanner it upgrades.
 pub fn check_unit_mismatch(
     ws: &Workspace,
     flow: &Flow,
@@ -678,7 +703,7 @@ pub fn check_unit_mismatch(
             .cloned()
             .collect();
         let file = &ws.files[f.file_idx];
-        let mut findings: Vec<(u32, String, Unit, Unit)> = Vec::new();
+        let mut findings: Vec<(&'static str, u32, String, Unit, Unit)> = Vec::new();
         walk_units_block(&body.block, &mut env, &ctx, &mut |e, env| {
             let (op, l, r) = match &e.kind {
                 ExprKind::Binary(op, l, r)
@@ -692,31 +717,41 @@ pub fn check_unit_mismatch(
             let (ul, ur) = (unit_of(l, env, &ctx), unit_of(r, env, &ctx));
             if let (Some(pl), Some(pr)) = (ul.power(), ur.power()) {
                 if pl != pr {
-                    findings.push((e.line, op.clone(), ul, ur));
+                    findings.push(("squared-distance-mismatch", e.line, op.clone(), ul, ur));
                 }
             }
+            if matches!(
+                (ul, ur),
+                (Unit::PowerMw, Unit::PowerDbm) | (Unit::PowerDbm, Unit::PowerMw)
+            ) {
+                findings.push(("power-domain-mismatch", e.line, op.clone(), ul, ur));
+            }
         });
-        for (line, op, ul, ur) in findings {
-            let allowed = pragmas.get(file.rel).is_some_and(|p| {
-                p.allows("squared-distance-mismatch", line)
-                    || p.allows("squared-distance-mismatch", f.line)
-            });
+        for (rule, line, op, ul, ur) in findings {
+            let allowed = pragmas
+                .get(file.rel)
+                .is_some_and(|p| p.allows(rule, line) || p.allows(rule, f.line));
             if allowed {
                 continue;
             }
-            out.push(Diagnostic {
-                rule: "squared-distance-mismatch",
-                file: file.rel.to_string(),
-                line,
-                message: format!(
+            let message = if rule == "power-domain-mismatch" {
+                format!(
+                    "`{}` mixes power domains in `{op}`: left is {ul:?}, right is {ur:?}; \
+                     convert through dbm_to_mw/db_to_linear before combining — adding dBm to \
+                     mW is the classic link-budget bug",
+                    f.path(),
+                )
+            } else {
+                format!(
                     "`{}` mixes metric powers in `{op}`: left is {ul:?} (power {}), right is \
                      {ur:?} (power {}); compare both at the same power — the kernel convention \
                      is squared-space (Def. 3.1's disk predicate without the sqrt)",
                     f.path(),
                     ul.power().unwrap_or(0),
                     ur.power().unwrap_or(0),
-                ),
-            });
+                )
+            };
+            out.push(Diagnostic { rule, file: file.rel.to_string(), line, message });
         }
     }
 }
@@ -735,6 +770,8 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "xtc_with",
     "yao_graph_with",
     "gabriel_graph_with",
+    "physical_interference_vector_with",
+    "sinr_interference_with",
 ];
 
 /// Atomic read-modify-write methods (order-sensitive cross-thread
@@ -1726,6 +1763,10 @@ mod tests {
             (Unknown, Distance, Unknown),
             (Count, Count, Count),
             (Seconds, Seconds, Seconds),
+            (PowerMw, PowerMw, PowerMw),
+            (PowerDbm, PowerDbm, PowerDbm),
+            (PowerMw, PowerDbm, Unknown),
+            (PowerMw, Distance, Unknown),
         ];
         for (a, b, want) in cases {
             assert_eq!(a.join(b), want, "join({a:?}, {b:?})");
@@ -1773,6 +1814,17 @@ mod tests {
             ("idx", Index),
             ("node_index", Index),
             ("elapsed", Seconds),
+            ("power_mw", PowerMw),
+            ("noise_mw", PowerMw),
+            ("mw", PowerMw),
+            ("theta_dbm", PowerDbm),
+            ("beta_db", PowerDbm),
+            ("sigma_db", PowerDbm),
+            ("rho", Radius),
+            ("rho_u", Radius),
+            ("cutoff", Radius),
+            ("threshold", Unknown),
+            ("power", Unknown),
             ("x", Unknown),
             ("weight", Unknown),
             ("result", Unknown),

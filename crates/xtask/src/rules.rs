@@ -29,6 +29,13 @@ pub const RULE_CATALOG: &[(&str, &str)] = &[
          scanner kept in agreement)",
     ),
     (
+        "power-domain-mismatch",
+        "a comparison or add/sub mixes linear milliwatts (`*_mw`) with \
+         log-domain dBm/dB (`*_dbm`, `*_db`); convert through \
+         `dbm_to_mw`/`db_to_linear` before combining (checked by the \
+         units-of-measure dataflow pass)",
+    ),
+    (
         "engine-determinism",
         "a function reachable from a determinism-pinned root (the \
          interference kernel, pipeline stages, the topology builders) \

@@ -28,6 +28,7 @@ fn fixture_fires_every_rule_at_known_sites() {
         ("squared-distance-mismatch", "src/lib.rs", 10),
         ("no-unwrap-in-lib", "src/lib.rs", 15),
         ("engine-determinism", "src/lib.rs", 32),
+        ("power-domain-mismatch", "src/lib.rs", 37),
     ];
     assert_eq!(got, want, "full diagnostics: {diags:#?}");
 }

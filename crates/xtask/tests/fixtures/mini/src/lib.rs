@@ -32,6 +32,11 @@ pub fn interference_vector_with(n: u64) -> u64 {
     n + std::time::Instant::now().elapsed().as_nanos() as u64
 }
 
+/// Mixed power domains — deliberately wrong for the fixture.
+pub fn budget(signal_mw: f64, noise_dbm: f64) -> bool {
+    signal_mw < noise_dbm
+}
+
 #[cfg(test)]
 mod tests {
     #[test]
@@ -39,5 +44,6 @@ mod tests {
         let _ = (super::check(1.0), super::nearby(1.0, 2.0), super::quiet(2.0));
         let _ = (super::boom(Some(3)), super::ok());
         let _ = super::interference_vector_with(1);
+        let _ = super::budget(1.0, -90.0);
     }
 }

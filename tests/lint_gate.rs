@@ -67,6 +67,32 @@ fn call_graph_stays_populated() {
 }
 
 #[test]
+fn physical_engine_obligations_stay_registered() {
+    // The SINR layer's standing obligations: the naive SINR oracle is a
+    // retained differential reference (so `naive-oracle-retained` fails
+    // the gate if the physical differential suite stops calling it), and
+    // both physical kernel entry points carry the panic-freedom closure
+    // check. Dropping any of these from the registries would silently
+    // un-audit rim-phys; pin them here.
+    for oracle in ["interference_vector_naive", "sinr_interference_naive"] {
+        assert!(
+            rim_xtask::audit::RETAINED_ORACLES.contains(&oracle),
+            "`{oracle}` must stay in RETAINED_ORACLES"
+        );
+    }
+    for root in ["physical_interference_vector_with", "sinr_interference_with"] {
+        assert!(
+            rim_xtask::audit::PANIC_FREE_ROOTS.contains(&root),
+            "`{root}` must stay in PANIC_FREE_ROOTS"
+        );
+    }
+    assert!(
+        rim_xtask::rules::rule_known("power-domain-mismatch"),
+        "the dBm/mW mixing rule must stay registered"
+    );
+}
+
+#[test]
 fn graph_oracle_verdicts_agree_with_the_token_scan() {
     // Same workspace, both implementations: the graph-based audit is
     // stricter in general (it needs a call chain, not a mention), but on
