@@ -11,7 +11,12 @@
 //!
 //! Bench ids keep the `group/function/param` shape Criterion used
 //! (e.g. `interference_vector/grid/500`), so historical names remain
-//! stable.
+//! stable. Structured dimensions ride alongside the id string:
+//! [`CaseMeta`] attaches the instance size `n` and the engine name as
+//! first-class JSONL fields so downstream tooling filters records
+//! without parsing bench names, and every record carries the process
+//! peak-RSS watermark ([`rim_obs::peak_rss_kb`]) plus its delta across
+//! the case — the witness that a tier did not blow the memory budget.
 
 use std::io::Write as _;
 use std::time::Instant;
@@ -21,11 +26,41 @@ pub const WARMUP_ITERS: u32 = 3;
 /// Timed iterations per case.
 pub const TIMED_ITERS: u32 = 10;
 
+/// Structured dimensions of a benchmark case, emitted as first-class
+/// JSONL fields next to the flat `bench` id string.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct CaseMeta {
+    /// Instance size (node count) the case ran at.
+    pub n: Option<u64>,
+    /// Engine/kernel name the case exercised.
+    pub engine: Option<String>,
+}
+
+impl CaseMeta {
+    /// Meta with just an instance size.
+    pub fn sized(n: u64) -> Self {
+        CaseMeta {
+            n: Some(n),
+            engine: None,
+        }
+    }
+
+    /// Meta with an instance size and an engine name.
+    pub fn engine_sized(engine: &str, n: u64) -> Self {
+        CaseMeta {
+            n: Some(n),
+            engine: Some(engine.to_string()),
+        }
+    }
+}
+
 /// Measured statistics of one benchmark case (per-iteration times).
 #[derive(Debug, Clone, PartialEq)]
 pub struct CaseResult {
     /// Full case id, `group/rest`.
     pub id: String,
+    /// Structured dimensions (instance size, engine name).
+    pub meta: CaseMeta,
     /// Number of timed iterations.
     pub iters: u32,
     /// Mean per-iteration time in nanoseconds.
@@ -34,6 +69,11 @@ pub struct CaseResult {
     pub p50_ns: f64,
     /// 95th-percentile per-iteration time in nanoseconds.
     pub p95_ns: f64,
+    /// Process peak RSS in kB after the case ran (`None` off Linux).
+    pub peak_rss_kb: Option<u64>,
+    /// Peak-RSS growth in kB attributable to this case (watermark delta
+    /// across warmup + timed iterations; `None` off Linux).
+    pub peak_rss_delta_kb: Option<u64>,
     /// Observability counter deltas accumulated over warmup + timed
     /// iterations (only counters that moved), name-sorted.
     pub counters: Vec<(String, u64)>,
@@ -48,13 +88,13 @@ fn percentile(sorted_ns: &[f64], q: f64) -> f64 {
     sorted_ns[rank.min(sorted_ns.len() - 1)]
 }
 
-/// Times one closure: warmup, then `TIMED_ITERS` timed runs.
-fn measure<R>(mut f: impl FnMut() -> R) -> (f64, f64, f64) {
-    for _ in 0..WARMUP_ITERS {
+/// Times one closure: `warmup` untimed runs, then `iters` timed runs.
+fn measure<R>(warmup: u32, iters: u32, mut f: impl FnMut() -> R) -> (f64, f64, f64) {
+    for _ in 0..warmup {
         std::hint::black_box(f());
     }
-    let mut samples = Vec::with_capacity(TIMED_ITERS as usize);
-    for _ in 0..TIMED_ITERS {
+    let mut samples = Vec::with_capacity(iters.max(1) as usize);
+    for _ in 0..iters.max(1) {
         let t0 = Instant::now();
         std::hint::black_box(f());
         samples.push(t0.elapsed().as_nanos() as f64);
@@ -71,14 +111,26 @@ fn jsonl_record(group: &str, r: &CaseResult) -> String {
         s.replace('\\', "\\\\").replace('"', "\\\"")
     }
     let mut line = format!(
-        "{{\"group\":\"{}\",\"bench\":\"{}\",\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p95_ns\":{:.1}",
+        "{{\"group\":\"{}\",\"bench\":\"{}\"",
         esc(group),
         esc(&r.id),
-        r.iters,
-        r.mean_ns,
-        r.p50_ns,
-        r.p95_ns
     );
+    if let Some(n) = r.meta.n {
+        line.push_str(&format!(",\"n\":{n}"));
+    }
+    if let Some(engine) = &r.meta.engine {
+        line.push_str(&format!(",\"engine\":\"{}\"", esc(engine)));
+    }
+    line.push_str(&format!(
+        ",\"iters\":{},\"mean_ns\":{:.1},\"p50_ns\":{:.1},\"p95_ns\":{:.1}",
+        r.iters, r.mean_ns, r.p50_ns, r.p95_ns
+    ));
+    if let Some(kb) = r.peak_rss_kb {
+        line.push_str(&format!(",\"peak_rss_kb\":{kb}"));
+    }
+    if let Some(kb) = r.peak_rss_delta_kb {
+        line.push_str(&format!(",\"peak_rss_delta_kb\":{kb}"));
+    }
     if !r.counters.is_empty() {
         line.push_str(",\"counters\":{");
         for (i, (name, value)) in r.counters.iter().enumerate() {
@@ -114,11 +166,35 @@ impl Harness {
         }
     }
 
-    /// Measures one case. `id` is the part after the group
-    /// (e.g. `"grid/500"`); the stored id is `group/id`.
+    /// Measures one case with the default iteration counts. `id` is the
+    /// part after the group (e.g. `"grid/500"`); the stored id is
+    /// `group/id`.
     pub fn bench<R>(&mut self, id: &str, f: impl FnMut() -> R) {
+        self.bench_scaled(id, CaseMeta::default(), WARMUP_ITERS, TIMED_ITERS, f);
+    }
+
+    /// Measures one case with structured dimensions attached and the
+    /// default iteration counts.
+    pub fn bench_with<R>(&mut self, id: &str, meta: CaseMeta, f: impl FnMut() -> R) {
+        self.bench_scaled(id, meta, WARMUP_ITERS, TIMED_ITERS, f);
+    }
+
+    /// Measures one case with explicit warmup/timed iteration counts —
+    /// the entry point for the 10⁶–10⁷-node tiers, where the default
+    /// 13 total runs would take minutes per case. `iters` is clamped to
+    /// at least 1.
+    pub fn bench_scaled<R>(
+        &mut self,
+        id: &str,
+        meta: CaseMeta,
+        warmup: u32,
+        iters: u32,
+        f: impl FnMut() -> R,
+    ) {
         let before = rim_obs::global().map(|r| r.counters()).unwrap_or_default();
-        let (mean_ns, p50_ns, p95_ns) = measure(f);
+        let rss_before = rim_obs::peak_rss_kb();
+        let (mean_ns, p50_ns, p95_ns) = measure(warmup, iters, f);
+        let rss_after = rim_obs::peak_rss_kb();
         let after = rim_obs::global().map(|r| r.counters()).unwrap_or_default();
         let counters: Vec<(String, u64)> = after
             .into_iter()
@@ -136,10 +212,16 @@ impl Harness {
         );
         self.results.push(CaseResult {
             id: full,
-            iters: TIMED_ITERS,
+            meta,
+            iters: iters.max(1),
             mean_ns,
             p50_ns,
             p95_ns,
+            peak_rss_kb: rss_after,
+            peak_rss_delta_kb: match (rss_before, rss_after) {
+                (Some(b), Some(a)) => Some(a.saturating_sub(b)),
+                _ => None,
+            },
             counters,
         });
     }
@@ -184,6 +266,20 @@ fn fmt_ns(ns: f64) -> String {
 mod tests {
     use super::*;
 
+    fn plain_result(id: &str) -> CaseResult {
+        CaseResult {
+            id: id.into(),
+            meta: CaseMeta::default(),
+            iters: 10,
+            mean_ns: 1234.5,
+            p50_ns: 1200.0,
+            p95_ns: 2000.0,
+            peak_rss_kb: None,
+            peak_rss_delta_kb: None,
+            counters: Vec::new(),
+        }
+    }
+
     #[test]
     fn percentiles_of_known_sample() {
         let xs: Vec<f64> = (1..=10).map(f64::from).collect();
@@ -196,7 +292,7 @@ mod tests {
     #[test]
     fn measure_returns_ordered_stats() {
         let mut x = 0u64;
-        let (mean, p50, p95) = measure(|| {
+        let (mean, p50, p95) = measure(WARMUP_ITERS, TIMED_ITERS, || {
             for i in 0..1_000u64 {
                 x = x.wrapping_add(i);
             }
@@ -207,33 +303,47 @@ mod tests {
     }
 
     #[test]
+    fn measure_clamps_zero_iters() {
+        let (mean, _, _) = measure(0, 0, || 42);
+        assert!(mean >= 0.0, "zero requested iters still measures one");
+    }
+
+    #[test]
     fn jsonl_record_shape() {
-        let r = CaseResult {
-            id: "g/fast/64".into(),
-            iters: 10,
-            mean_ns: 1234.5,
-            p50_ns: 1200.0,
-            p95_ns: 2000.0,
-            counters: Vec::new(),
-        };
-        let line = jsonl_record("g", &r);
+        let line = jsonl_record("g", &plain_result("g/fast/64"));
         assert!(line.starts_with("{\"group\":\"g\",\"bench\":\"g/fast/64\""));
         assert!(line.ends_with('}'));
         assert!(line.contains("\"iters\":10"));
         assert!(line.contains("\"mean_ns\":1234.5"));
         assert!(!line.contains("counters"), "empty counters stay omitted");
+        assert!(!line.contains("\"n\":"), "absent meta stays omitted");
+        assert!(!line.contains("engine"), "absent meta stays omitted");
+        assert!(!line.contains("peak_rss"), "absent probe stays omitted");
+    }
+
+    #[test]
+    fn jsonl_record_emits_structured_dimensions() {
+        let mut r = plain_result("g/streaming/1000000");
+        r.meta = CaseMeta::engine_sized("streaming", 1_000_000);
+        r.peak_rss_kb = Some(250_000);
+        r.peak_rss_delta_kb = Some(1024);
+        let line = jsonl_record("g", &r);
+        assert!(line.contains("\"n\":1000000"), "{line}");
+        assert!(line.contains("\"engine\":\"streaming\""), "{line}");
+        assert!(line.contains("\"peak_rss_kb\":250000"), "{line}");
+        assert!(line.contains("\"peak_rss_delta_kb\":1024"), "{line}");
+        // Structured fields precede the timing block, one JSON object.
+        assert!(line.starts_with("{\"group\":\"g\",\"bench\":\"g/streaming/1000000\",\"n\":1000000,\"engine\":\"streaming\""));
+        assert_eq!(CaseMeta::sized(7), CaseMeta { n: Some(7), engine: None });
     }
 
     #[test]
     fn jsonl_record_attaches_counter_deltas() {
-        let r = CaseResult {
-            id: "g/fast/64".into(),
-            iters: 10,
-            mean_ns: 1.0,
-            p50_ns: 1.0,
-            p95_ns: 1.0,
-            counters: vec![("core.disk_queries".into(), 640), ("par.scatter_chunks".into(), 4)],
-        };
+        let mut r = plain_result("g/fast/64");
+        r.mean_ns = 1.0;
+        r.p50_ns = 1.0;
+        r.p95_ns = 1.0;
+        r.counters = vec![("core.disk_queries".into(), 640), ("par.scatter_chunks".into(), 4)];
         let line = jsonl_record("g", &r);
         assert!(
             line.contains("\"counters\":{\"core.disk_queries\":640,\"par.scatter_chunks\":4}"),
@@ -256,18 +366,33 @@ mod tests {
         // the delta by design: the counters describe everything the case
         // executed, not just the timed window.
         assert_eq!(total, u64::from(WARMUP_ITERS + TIMED_ITERS));
+        // The memory probe is attached on Linux (None elsewhere is fine).
+        if let Some(kb) = h.results[0].peak_rss_kb {
+            assert!(kb > 0);
+        }
+    }
+
+    #[test]
+    fn bench_scaled_respects_iteration_counts() {
+        let mut h = Harness::new("timing_self_test_scaled");
+        h.bench_scaled("tiny", CaseMeta::sized(1), 0, 2, || {
+            rim_obs::counter_add("bench.self_test.scaled", 1)
+        });
+        let r = &h.results[0];
+        assert_eq!(r.iters, 2);
+        assert_eq!(r.meta.n, Some(1));
+        let total: u64 = r
+            .counters
+            .iter()
+            .filter(|(n, _)| n == "bench.self_test.scaled")
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(total, 2, "no warmup + 2 timed iterations");
     }
 
     #[test]
     fn escaping_quotes_in_ids() {
-        let r = CaseResult {
-            id: "a\"b".into(),
-            iters: 1,
-            mean_ns: 1.0,
-            p50_ns: 1.0,
-            p95_ns: 1.0,
-            counters: Vec::new(),
-        };
+        let r = plain_result("a\"b");
         assert!(jsonl_record("g", &r).contains("a\\\"b"));
     }
 }

@@ -30,7 +30,11 @@ commands:
             [--obs human|jsonl]   (spans/counters/histograms on stderr)
             [--timing true]   (alias for --obs human)
   analyze   --nodes FILE --topology FILE
-            [--engine naive|indexed|parallel|physical-naive|physical-indexed|auto]
+            [--engine naive|indexed|parallel|physical-naive|physical-indexed|
+                      streaming|auto]
+            [--generate uniform:N]   (skip the files: stream N uniform nodes
+              with nearest-neighbor radii through the SoA kernel;
+              takes [--seed K] [--side S], no edge list is ever built)
             [--phy off|disk|logdist]   (append a SINR physical-model section;
               disk = disk-equivalent instantiation, logdist takes
               [--alpha A] [--power-dbm P] [--theta-dbm T] [--noise-dbm N]
@@ -214,8 +218,67 @@ pub fn control(args: &Args) -> Result<(), UsageError> {
     result
 }
 
+/// `rim analyze --generate uniform:N` — the file-free streaming path:
+/// generate N uniform nodes, assign nearest-neighbor radii, and run the
+/// SoA streaming kernel. No node file, no topology file, no edge list.
+fn analyze_generated(spec: &str, args: &Args) -> Result<(), UsageError> {
+    let n: usize = match spec.split_once(':') {
+        Some(("uniform", count)) => count
+            .parse()
+            .map_err(|e| UsageError(format!("bad node count in --generate {spec}: {e}")))?,
+        _ => {
+            return Err(UsageError(format!(
+                "unknown --generate spec {spec} (expected uniform:N)"
+            )))
+        }
+    };
+    let seed: u64 = args.opt_parse("seed", 0)?;
+    // Unit density by default: an n-node instance on a √n × √n square,
+    // the regime of the Θ(√(log n)) interference statistics.
+    let side: f64 = args.opt_parse("side", (n.max(1) as f64).sqrt())?;
+    let mode = obs_mode(args)?;
+    args.finish()?;
+    if side <= 0.0 || !side.is_finite() {
+        return Err(UsageError(format!("--side must be positive, got {side}")));
+    }
+    let rec = obs_install(mode);
+    let (counts, max) = {
+        let _root = rim_obs::span("analyze_generated");
+        let soa = rim_workloads::uniform_soa(n, side, seed);
+        let inst = rim_core::StreamInstance::try_with_nn_radii(soa)
+            .map_err(|e| UsageError(e.to_string()))?;
+        let counts = inst.interference_counts_sharded(rim_core::parallel::num_threads());
+        let max = counts.iter().copied().max().unwrap_or(0);
+        (counts, max)
+    };
+    emit_obs(mode, rec);
+    let mean = if counts.is_empty() {
+        0.0
+    } else {
+        counts.iter().map(|&c| f64::from(c)).sum::<f64>() / counts.len() as f64
+    };
+    let (lo, hi) = rim_core::sqrt_log_envelope(n);
+    println!("nodes:                    {n} (generated uniform, seed {seed}, side {side})");
+    println!("interference engine:      streaming (nearest-neighbor radii)");
+    println!("receiver interference I:  {max}");
+    println!("mean node interference:   {mean:.3}");
+    println!(
+        "sqrt(log n) envelope:     [{lo:.2}, {hi:.2}] -> {}",
+        if (f64::from(max) >= lo && f64::from(max) <= hi) || n < 10_000 {
+            "within"
+        } else {
+            "OUTSIDE"
+        }
+    );
+    Ok(())
+}
+
 /// `rim analyze` — interference report for a topology.
 pub fn analyze(args: &Args) -> Result<(), UsageError> {
+    let generate = args.opt("generate", "");
+    if !generate.is_empty() {
+        return analyze_generated(&generate, args);
+    }
     let engine: Engine = args.opt_parse("engine", Engine::Auto)?;
     let mode = obs_mode(args)?;
     let rec = obs_install(mode);

@@ -73,7 +73,7 @@ fn generate_control_analyze_pipeline() {
 
     // Every explicit engine selection must report the same numbers.
     let mut reports = Vec::new();
-    for engine in ["naive", "indexed", "parallel"] {
+    for engine in ["naive", "indexed", "parallel", "streaming"] {
         let out = rim()
             .args(["analyze", "--engine", engine, "--nodes"])
             .arg(&nodes)
@@ -500,4 +500,44 @@ fn obs_rejects_unknown_mode() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("unknown --obs mode"));
+}
+
+#[test]
+fn analyze_generate_streams_a_uniform_instance() {
+    let out = rim()
+        .args(["analyze", "--generate", "uniform:2000", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    assert!(text.contains("nodes:                    2000 (generated uniform, seed 5"));
+    assert!(text.contains("interference engine:      streaming (nearest-neighbor radii)"));
+    assert!(text.contains("sqrt(log n) envelope:"));
+
+    // Same spec and seed must reproduce the report byte for byte.
+    let again = rim()
+        .args(["analyze", "--generate", "uniform:2000", "--seed", "5"])
+        .output()
+        .unwrap();
+    assert_eq!(text, String::from_utf8(again.stdout).unwrap());
+}
+
+#[test]
+fn analyze_generate_rejects_bad_specs() {
+    for (spec, needle) in [
+        ("cluster:100", "unknown --generate spec"),
+        ("uniform:lots", "bad node count"),
+        ("uniform", "unknown --generate spec"),
+    ] {
+        let out = rim().args(["analyze", "--generate", spec]).output().unwrap();
+        assert!(!out.status.success(), "spec {spec} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "spec {spec}: {err}");
+    }
+    let out = rim()
+        .args(["analyze", "--generate", "uniform:10", "--side", "-1.0"])
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--side must be positive"));
 }

@@ -23,6 +23,9 @@
 //!
 //! * [`receiver`] — Definitions 3.1/3.2 (naive oracle plus indexed and
 //!   parallel engines behind [`receiver::Engine`]),
+//! * [`stream`] — the UDG-free streaming kernel in structure-of-arrays
+//!   layout for 10⁶–10⁷-node instances, with the Θ(√(log n))
+//!   statistical envelope for uniform instances,
 //! * [`parallel`] — the scoped-thread range splitter the engines share,
 //! * [`physical`] — SINR physical-layer glue (`rim-phys` re-exports and
 //!   the disk-limit adapter behind the physical engines),
@@ -57,6 +60,8 @@ pub mod parallel;
 pub mod physical;
 /// The receiver-centric interference measure (Definitions 3.1 and 3.2).
 pub mod receiver;
+/// Streaming million-node interference kernel (UDG-free, SoA layout).
+pub mod stream;
 /// Robustness of the interference measure under node arrival/departure.
 pub mod robustness;
 /// The sender-centric link-coverage measure of Burkhart et al. (MobiHoc 2004).
@@ -70,3 +75,4 @@ pub use receiver::{
     interference_vector_naive, interference_vector_with, Engine,
 };
 pub use sender::{edge_coverage, sender_graph_interference};
+pub use stream::{sqrt_log_envelope, StreamInstance};

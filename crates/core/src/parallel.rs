@@ -6,7 +6,7 @@
 //! module stays as the long-standing `rim_core::parallel::…` path so the
 //! interference kernels (and external callers) keep compiling unchanged.
 
-pub use rim_par::{num_threads, par_map_ranges};
+pub use rim_par::{num_threads, par_map_ranges, par_scatter_u32};
 
 #[cfg(test)]
 mod tests {

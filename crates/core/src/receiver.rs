@@ -15,6 +15,10 @@
 //! approximately — on every input; [`Engine::Auto`] may therefore pick
 //! by size alone.
 //!
+//! [`Engine::Streaming`] routes through the structure-of-arrays kernel
+//! of [`crate::stream`] — the same counts computed without the edge
+//! list, sized for 10⁶–10⁷-node instances.
+//!
 //! Two further engines route through the physical-layer (SINR) model of
 //! `rim-phys` in its disk-equivalent instantiation:
 //! [`Engine::PhysicalNaive`] and [`Engine::PhysicalIndexed`] compute the
@@ -22,7 +26,7 @@
 //! disk-limit theorem (`DESIGN.md` §11) makes them agree bit-for-bit
 //! with the disk kernels — a differential-tested contract.
 
-use crate::parallel::{num_threads, par_map_ranges};
+use crate::parallel::{num_threads, par_scatter_u32};
 use rim_geom::SpatialIndex;
 use rim_udg::Topology;
 
@@ -53,6 +57,10 @@ pub enum Engine {
     /// Disk-equivalent physical model with one coverage-disk query per
     /// transmitter over the shared [`SpatialIndex`].
     PhysicalIndexed,
+    /// Structure-of-arrays streaming kernel ([`crate::stream`]): the
+    /// topology's radii are carried into a bucket-permuted SoA grid and
+    /// scattered without touching the edge list — the 10⁶–10⁷-node path.
+    Streaming,
     /// Pick by instance size: naive below 64 nodes, indexed above,
     /// parallel from 8192 nodes when more than one core is available.
     #[default]
@@ -62,12 +70,13 @@ pub enum Engine {
 impl Engine {
     /// All selectable engines, in oracle-first order (useful for tests
     /// and help text).
-    pub const ALL: [Engine; 6] = [
+    pub const ALL: [Engine; 7] = [
         Engine::Naive,
         Engine::Indexed,
         Engine::Parallel,
         Engine::PhysicalNaive,
         Engine::PhysicalIndexed,
+        Engine::Streaming,
         Engine::Auto,
     ];
 
@@ -79,6 +88,7 @@ impl Engine {
             Engine::Parallel => "parallel",
             Engine::PhysicalNaive => "physical-naive",
             Engine::PhysicalIndexed => "physical-indexed",
+            Engine::Streaming => "streaming",
             Engine::Auto => "auto",
         }
     }
@@ -110,9 +120,10 @@ impl std::str::FromStr for Engine {
             "parallel" => Ok(Engine::Parallel),
             "physical-naive" => Ok(Engine::PhysicalNaive),
             "physical-indexed" => Ok(Engine::PhysicalIndexed),
+            "streaming" => Ok(Engine::Streaming),
             "auto" => Ok(Engine::Auto),
             other => Err(format!(
-                "unknown engine `{other}` (expected naive|indexed|parallel|physical-naive|physical-indexed|auto)"
+                "unknown engine `{other}` (expected naive|indexed|parallel|physical-naive|physical-indexed|streaming|auto)"
             )),
         }
     }
@@ -186,9 +197,12 @@ pub fn build_index(t: &Topology) -> SpatialIndex {
 /// Scatters sender `u`'s coverage contribution into `out` via `index`,
 /// returning the number of disk queries issued (0 for silent nodes, 1
 /// for transmitters) so the kernels can report query totals in one
-/// counter update per batch.
+/// counter update per batch. Accumulators are `u32`: interference is
+/// bounded by `n - 1`, and the grids refuse more than `u32::MAX` points,
+/// so the counts cannot overflow — and halving the accumulator width
+/// halves the cache traffic of the hot scatter loop.
 #[inline]
-fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [usize]) -> u64 {
+fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [u32]) -> u64 {
     if t.graph().degree(u) == 0 {
         return 0; // isolated nodes transmit nothing
     }
@@ -208,43 +222,33 @@ fn scatter_sender(t: &Topology, index: &SpatialIndex, u: usize, out: &mut [usize
 /// [`interference_vector_naive`]'s exactly.
 fn interference_vector_indexed(t: &Topology, index: &SpatialIndex) -> Vec<usize> {
     let n = t.num_nodes();
-    let mut out = vec![0usize; n];
+    let mut out = vec![0u32; n];
     let mut queries = 0u64;
     for u in 0..n {
         queries += scatter_sender(t, index, u, &mut out);
     }
     rim_obs::counter_add("core.disk_queries", queries);
-    out
+    out.into_iter().map(|c| c as usize).collect()
 }
 
-/// Parallel kernel: the sender range `0..n` is chunked across scoped
-/// threads, each scattering into a private accumulator; the accumulators
-/// are summed element-wise. Integer addition commutes, so the result is
-/// bit-identical to the indexed kernel regardless of thread count.
+/// Parallel kernel: the sender range `0..n` is sharded over
+/// [`par_scatter_u32`] — every worker scatters into a private zeroed
+/// `u32` buffer (no false sharing on a common output vector) and the
+/// buffers are summed at the barrier. Integer addition commutes, so the
+/// result is bit-identical to the indexed kernel for any thread count.
 fn interference_vector_parallel(t: &Topology, index: &SpatialIndex) -> Vec<usize> {
     let n = t.num_nodes();
     let chunks = (n / PARALLEL_CHUNK).clamp(1, num_threads());
-    if chunks == 1 {
-        return interference_vector_indexed(t, index);
-    }
-    let partials = par_map_ranges(n, chunks, |range| {
-        let mut local = vec![0usize; n];
+    let counts = par_scatter_u32(n, n, chunks, |range, buf| {
         let mut queries = 0u64;
         for u in range {
-            queries += scatter_sender(t, index, u, &mut local);
+            queries += scatter_sender(t, index, u, buf);
         }
         // One counter update per chunk, not per query: the shared-sink
         // cost stays O(chunks) however large the instance.
         rim_obs::counter_add("core.disk_queries", queries);
-        local
     });
-    let mut out = vec![0usize; n];
-    for local in partials {
-        for (o, l) in out.iter_mut().zip(&local) {
-            *o += l;
-        }
-    }
-    out
+    counts.into_iter().map(|c| c as usize).collect()
 }
 
 /// Per-node interference via an explicitly chosen [`Engine`]:
@@ -260,6 +264,7 @@ pub fn interference_vector_with(t: &Topology, engine: Engine) -> Vec<usize> {
         Engine::Indexed => "interference/indexed",
         Engine::PhysicalNaive => "interference/physical_naive",
         Engine::PhysicalIndexed => "interference/physical_indexed",
+        Engine::Streaming => "interference/streaming_engine",
         Engine::Parallel | Engine::Auto => "interference/parallel",
     });
     match resolved {
@@ -267,6 +272,11 @@ pub fn interference_vector_with(t: &Topology, engine: Engine) -> Vec<usize> {
         Engine::Indexed => interference_vector_indexed(t, &build_index(t)),
         Engine::PhysicalNaive => crate::physical::disk_limit_vector(t, false),
         Engine::PhysicalIndexed => crate::physical::disk_limit_vector(t, true),
+        Engine::Streaming => crate::stream::StreamInstance::from_topology(t)
+            .interference_counts_sharded(num_threads())
+            .into_iter()
+            .map(|c| c as usize)
+            .collect(),
         Engine::Parallel | Engine::Auto => interference_vector_parallel(t, &build_index(t)),
     }
 }

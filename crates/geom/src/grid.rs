@@ -8,6 +8,110 @@
 use crate::bbox::Aabb;
 use crate::point::Point;
 
+/// Largest number of points a grid-backed index can hold: bucket items
+/// are stored as `u32` ids, so any build beyond this would silently
+/// truncate indices. [`UniformGrid::try_build`] (and the SoA variant)
+/// refuse larger inputs instead.
+pub const MAX_INDEXED_POINTS: usize = u32::MAX as usize;
+
+/// Returns `true` if `n` points fit a `u32`-id bucket index — the
+/// capacity predicate behind [`UniformGrid::try_build`]. Exposed so the
+/// boundary (`u32::MAX` fits, `u32::MAX + 1` does not) is unit-testable
+/// without allocating four billion points.
+#[inline]
+pub fn fits_u32_index(n: usize) -> bool {
+    n <= MAX_INDEXED_POINTS
+}
+
+/// Error returned when a grid build would overflow its `u32` item ids.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridCapacityError {
+    /// Number of points the caller asked to index.
+    pub points: usize,
+}
+
+impl std::fmt::Display for GridCapacityError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "cannot index {} points: grid item ids are u32 (max {})",
+            self.points, MAX_INDEXED_POINTS
+        )
+    }
+}
+
+impl std::error::Error for GridCapacityError {}
+
+/// Bucket scatter shared by [`UniformGrid`] and the SoA grid: given each
+/// point's cell id, produces the CSR `starts` array (length `ncells + 1`)
+/// and the bucket-major point permutation (`order[k]` = original point
+/// id), insertion-stable within every bucket.
+///
+/// Small tables scatter directly. Past [`DIRECT_SCATTER_CELLS`] the
+/// cursor and destination arrays no longer fit the fast caches and the
+/// classic one-pass counting sort degrades to one cache miss per point;
+/// the scatter then switches to a two-pass *row-blocked* fill: points
+/// are first partitioned by coarse cell block (at most
+/// [`COARSE_BLOCKS`] blocks, each covering a contiguous cell-id range),
+/// then each block is scattered exactly — every pass works on a cursor
+/// window small enough to stay cache-resident. Both paths produce
+/// bit-identical output (a stable sort by cell id).
+// rim-lint: allow(panic-freedom) — cell ids are < ncells by construction; prefix sums cover ncells + 1 slots
+pub(crate) fn bucket_scatter(cells: &[u32], ncells: usize) -> (Vec<u32>, Vec<u32>) {
+    let n = cells.len();
+    let mut counts = vec![0u32; ncells + 1];
+    for &c in cells {
+        counts[c as usize + 1] += 1;
+    }
+    for i in 1..=ncells {
+        counts[i] += counts[i - 1];
+    }
+    let starts = counts.clone();
+    let mut order = vec![0u32; n];
+    if ncells <= DIRECT_SCATTER_CELLS {
+        let mut cursor = counts;
+        for (i, &c) in cells.iter().enumerate() {
+            order[cursor[c as usize] as usize] = i as u32;
+            cursor[c as usize] += 1;
+        }
+        return (starts, order);
+    }
+    // Pass 1: stable partition by coarse block (cell id >> shift).
+    let mut shift = 0u32;
+    while (ncells - 1) >> shift >= COARSE_BLOCKS {
+        shift += 1;
+    }
+    let nblocks = ((ncells - 1) >> shift) + 1;
+    let mut block_counts = vec![0u32; nblocks + 1];
+    for &c in cells {
+        block_counts[(c >> shift) as usize + 1] += 1;
+    }
+    for i in 1..=nblocks {
+        block_counts[i] += block_counts[i - 1];
+    }
+    let mut block_cursor = block_counts;
+    let mut by_block = vec![0u32; n];
+    for (i, &c) in cells.iter().enumerate() {
+        let b = (c >> shift) as usize;
+        by_block[block_cursor[b] as usize] = i as u32;
+        block_cursor[b] += 1;
+    }
+    // Pass 2: exact scatter, one contiguous cursor/destination window
+    // per block. Stability of pass 1 keeps insertion order per bucket.
+    let mut cursor = starts.clone();
+    for &i in &by_block {
+        let c = cells[i as usize] as usize;
+        order[cursor[c] as usize] = i;
+        cursor[c] += 1;
+    }
+    (starts, order)
+}
+
+/// Cell-table size up to which the one-pass scatter stays cache-friendly.
+const DIRECT_SCATTER_CELLS: usize = 1 << 15;
+/// Maximum number of coarse blocks in the row-blocked scatter.
+const COARSE_BLOCKS: usize = 1 << 12;
+
 /// A uniform bucket grid over a fixed set of points.
 ///
 /// The grid stores point *indices* into the slice it was built from, so it
@@ -54,8 +158,28 @@ impl UniformGrid {
     ///
     /// Queries stay correct under both adjustments, only their constant
     /// factor changes.
-    // rim-lint: allow(panic-freedom) — `cell_of` clamps into `0..ncells`; the prefix sums cover `ncells + 1` slots
+    ///
+    /// Panics if `points` exceeds [`MAX_INDEXED_POINTS`] (the `u32` item
+    /// capacity); use [`UniformGrid::try_build`] to handle that case as
+    /// an error instead.
+    // rim-lint: allow(panic-freedom) — the capacity assert replaces silent `as u32` id truncation; instances this large cannot be addressed by any caller in the workspace
     pub fn build(points: &[Point], cell: f64) -> Self {
+        match Self::try_build(points, cell) {
+            Ok(grid) => grid,
+            // rim-lint: allow(no-unwrap-in-lib) — intentional capacity assert, fallible twin is try_build
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`UniformGrid::build`]: returns a
+    /// [`GridCapacityError`] instead of panicking when `points` has more
+    /// entries than the `u32` bucket items can address.
+    pub fn try_build(points: &[Point], cell: f64) -> Result<Self, GridCapacityError> {
+        if !fits_u32_index(points.len()) {
+            return Err(GridCapacityError {
+                points: points.len(),
+            });
+        }
         let bbox = Aabb::of_points(points);
         let cell = if cell > 0.0 && cell.is_finite() {
             cell
@@ -74,7 +198,9 @@ impl UniformGrid {
         let (origin, nx, ny, cell) = if bbox.is_empty() {
             (Point::ORIGIN, 1, 1, cell)
         } else {
-            let budget = (8 * points.len() + 1024) as f64;
+            // Capped below u32::MAX cells so cell ids fit u32 even for
+            // point counts near the item-id capacity.
+            let budget = ((8 * points.len() + 1024) as f64).min(4.0e9);
             let mut cell = cell;
             let cells_for = |c: f64| {
                 ((bbox.width() / c).floor() + 1.0) * ((bbox.height() / c).floor() + 1.0)
@@ -91,28 +217,18 @@ impl UniformGrid {
         };
 
         let ncells = nx * ny;
-        let mut counts = vec![0u32; ncells + 1];
-        let cell_of = |p: &Point| -> usize {
+        // Cell ids are computed once into a column (the second pass of
+        // the old build recomputed them point by point), then scattered
+        // with the shared cache-blocked bucket fill.
+        let cell_of = |p: &Point| -> u32 {
             let cx = (((p.x - origin.x) / cell).floor() as usize).min(nx - 1);
             let cy = (((p.y - origin.y) / cell).floor() as usize).min(ny - 1);
-            cy * nx + cx
+            (cy * nx + cx) as u32
         };
-        for p in points {
-            counts[cell_of(p) + 1] += 1;
-        }
-        for i in 1..=ncells {
-            counts[i] += counts[i - 1];
-        }
-        let starts = counts.clone();
-        let mut cursor = counts;
-        let mut items = vec![0u32; points.len()];
-        for (i, p) in points.iter().enumerate() {
-            let c = cell_of(p);
-            items[cursor[c] as usize] = i as u32;
-            cursor[c] += 1;
-        }
+        let cells: Vec<u32> = points.iter().map(cell_of).collect();
+        let (starts, items) = bucket_scatter(&cells, ncells);
 
-        UniformGrid {
+        Ok(UniformGrid {
             origin,
             cell,
             nx,
@@ -120,7 +236,7 @@ impl UniformGrid {
             starts,
             items,
             points: points.to_vec(),
-        }
+        })
     }
 
     /// Number of indexed points.
@@ -462,6 +578,49 @@ mod tests {
         let mut got = grid.query_disk(Point::on_line(0.5), 0.1);
         got.sort_unstable();
         assert_eq!(got, brute_disk(&pts, Point::on_line(0.5), 0.1));
+    }
+
+    #[test]
+    fn u32_capacity_boundary_is_pinned() {
+        // The boundary itself cannot be allocated in a test, so the
+        // predicate behind `try_build` pins it: exactly u32::MAX points
+        // fit, one more does not (the old build truncated ids silently).
+        assert!(fits_u32_index(0));
+        assert!(fits_u32_index(MAX_INDEXED_POINTS));
+        assert!(!fits_u32_index(MAX_INDEXED_POINTS + 1));
+        let err = GridCapacityError {
+            points: MAX_INDEXED_POINTS + 1,
+        };
+        assert!(err.to_string().contains("4294967295"), "{err}");
+        // In-capacity builds succeed through the fallible path.
+        let grid = UniformGrid::try_build(&[Point::ORIGIN], 1.0).unwrap();
+        assert_eq!(grid.len(), 1);
+    }
+
+    #[test]
+    fn blocked_scatter_matches_direct_scatter() {
+        // Synthetic cell ids over a table large enough to force the
+        // row-blocked two-pass path; the result must equal a reference
+        // stable sort (which is also what the direct path computes).
+        let ncells = DIRECT_SCATTER_CELLS * 4;
+        let mut state = 1u64;
+        let cells: Vec<u32> = (0..10_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u32 % ncells as u32
+            })
+            .collect();
+        let (starts, order) = bucket_scatter(&cells, ncells);
+        let mut expect: Vec<u32> = (0..cells.len() as u32).collect();
+        expect.sort_by_key(|&i| cells[i as usize]); // stable
+        assert_eq!(order, expect);
+        assert_eq!(starts.len(), ncells + 1);
+        assert_eq!(*starts.last().unwrap() as usize, cells.len());
+        for w in starts.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
     }
 
     #[test]

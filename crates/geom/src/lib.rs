@@ -10,6 +10,9 @@
 //! * [`Disk`] — a closed disk `D(c, r)` with containment predicates,
 //! * [`Aabb`] — axis-aligned bounding boxes,
 //! * [`UniformGrid`] — a bucket grid spatial index for range queries,
+//! * [`SoaPoints`] / [`SoaGrid`] — structure-of-arrays point storage and
+//!   a bucket grid with bucket-major coordinate columns, the layout the
+//!   million-node streaming kernels scan,
 //! * [`KdTree`] — a static 2-d tree for nearest-neighbor queries,
 //! * [`SpatialIndex`] — grid/kd-tree dispatch chosen from the data,
 //! * [`closest_pair`] — divide-and-conquer closest pair,
@@ -43,13 +46,17 @@ pub mod hull;
 pub mod index;
 pub mod kdtree;
 pub mod point;
+pub mod soa;
+pub mod soa_grid;
 
 pub use bbox::Aabb;
 pub use closest_pair::{closest_pair, closest_pair_brute_force};
 pub use delaunay::{delaunay, Delaunay};
 pub use disk::Disk;
-pub use grid::UniformGrid;
+pub use grid::{fits_u32_index, GridCapacityError, UniformGrid, MAX_INDEXED_POINTS};
 pub use hull::convex_hull;
 pub use index::SpatialIndex;
 pub use kdtree::KdTree;
 pub use point::Point;
+pub use soa::SoaPoints;
+pub use soa_grid::SoaGrid;

@@ -1,0 +1,398 @@
+//! Structure-of-arrays bucket grid — the million-node spatial index.
+//!
+//! [`crate::UniformGrid`] answers a disk query by walking bucket item
+//! ids and dereferencing each one into a `Vec<Point>`: one indirection
+//! (and usually one cache miss) per candidate. At 10^6–10^7 points that
+//! indirection *is* the kernel's running time. [`SoaGrid`] removes it:
+//! at build time the coordinate columns of a [`SoaPoints`] are permuted
+//! into bucket-major order, so a bucket scan reads `sxs[lo..hi]` /
+//! `sys[lo..hi]` sequentially and only touches the id column for actual
+//! hits. The build itself uses the same cache-blocked bucket fill as
+//! [`crate::UniformGrid`] ([`crate::grid::bucket_scatter`]).
+//!
+//! Query semantics are identical to the other indexes — the *closed*
+//! distance-level predicate `dist(p, c) <= r` (see the crate-level
+//! floating-point policy) — so results are bit-compatible with
+//! [`crate::SpatialIndex`] and the naive scans.
+
+use crate::grid::{bucket_scatter, fits_u32_index, GridCapacityError};
+use crate::point::Point;
+use crate::soa::SoaPoints;
+
+/// A uniform bucket grid over a [`SoaPoints`] store, with bucket-major
+/// coordinate columns for sequential scans.
+///
+/// Indices reported by queries refer to the original point order of the
+/// store the grid was built from.
+///
+/// ```
+/// use rim_geom::{Point, SoaGrid, SoaPoints};
+///
+/// let pts = SoaPoints::from_points(&[
+///     Point::new(0.0, 0.0),
+///     Point::new(0.5, 0.0),
+///     Point::new(2.0, 2.0),
+/// ]);
+/// let grid = SoaGrid::build(&pts, 0.5);
+/// assert_eq!(grid.query_disk(Point::new(0.1, 0.0), 0.5), vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SoaGrid {
+    origin: Point,
+    cell: f64,
+    nx: usize,
+    ny: usize,
+    starts: Vec<u32>,
+    /// Original point ids, bucket-major, insertion-stable per bucket.
+    items: Vec<u32>,
+    /// X-coordinates permuted into the `items` order.
+    sxs: Vec<f64>,
+    /// Y-coordinates permuted into the `items` order.
+    sys: Vec<f64>,
+}
+
+impl SoaGrid {
+    /// Builds a grid over `points` with the given `cell` size hint. The
+    /// hint is sanitized and budget-clamped exactly as in
+    /// [`crate::UniformGrid::build`]: degenerate hints fall back to the
+    /// bounding-box diagonal, and cell counts stay `O(n)`.
+    ///
+    /// Panics if the store exceeds the `u32` item capacity; use
+    /// [`SoaGrid::try_build`] to handle that case as an error.
+    // rim-lint: allow(panic-freedom) — the capacity assert replaces silent `as u32` id truncation
+    pub fn build(points: &SoaPoints, cell: f64) -> Self {
+        match Self::try_build(points, cell) {
+            Ok(grid) => grid,
+            // rim-lint: allow(no-unwrap-in-lib) — intentional capacity assert, fallible twin is try_build
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible variant of [`SoaGrid::build`]: errors when `points` has
+    /// more entries than `u32` bucket item ids can address.
+    pub fn try_build(points: &SoaPoints, cell: f64) -> Result<Self, GridCapacityError> {
+        let n = points.len();
+        if !fits_u32_index(n) {
+            return Err(GridCapacityError { points: n });
+        }
+        rim_obs::counter_add("geom.index.soa_builds", 1);
+        let bbox = points.bbox();
+        let cell = if cell > 0.0 && cell.is_finite() {
+            cell
+        } else {
+            let diag = if bbox.is_empty() {
+                0.0
+            } else {
+                Point::new(bbox.width(), bbox.height()).norm()
+            };
+            if diag > 0.0 && diag.is_finite() {
+                diag
+            } else {
+                1.0
+            }
+        };
+        let (origin, nx, ny, cell) = if bbox.is_empty() {
+            (Point::ORIGIN, 1, 1, cell)
+        } else {
+            // Same linear-memory budget as UniformGrid, capped below
+            // u32::MAX cells so cell ids fit u32 at any point count.
+            let budget = ((8 * n + 1024) as f64).min(4.0e9);
+            let mut cell = cell;
+            let cells_for = |c: f64| {
+                ((bbox.width() / c).floor() + 1.0) * ((bbox.height() / c).floor() + 1.0)
+            };
+            if cells_for(cell) > budget {
+                cell *= (cells_for(cell) / budget).sqrt().max(2.0);
+                while cells_for(cell) > budget {
+                    cell *= 2.0;
+                }
+            }
+            let nx = (bbox.width() / cell).floor() as usize + 1;
+            let ny = (bbox.height() / cell).floor() as usize + 1;
+            (bbox.min, nx, ny, cell)
+        };
+
+        let ncells = nx * ny;
+        let xs = points.xs();
+        let ys = points.ys();
+        // rim-lint: allow(panic-freedom) — cell coordinates are clamped into the grid
+        let cells: Vec<u32> = (0..n)
+            .map(|i| {
+                let cx = (((xs[i] - origin.x) / cell).floor() as usize).min(nx - 1);
+                let cy = (((ys[i] - origin.y) / cell).floor() as usize).min(ny - 1);
+                (cy * nx + cx) as u32
+            })
+            .collect();
+        let (starts, items) = bucket_scatter(&cells, ncells);
+        // Gather the coordinate columns into bucket order: after this,
+        // every bucket scan is a sequential read of both columns.
+        let sxs: Vec<f64> = items.iter().map(|&i| xs[i as usize]).collect();
+        let sys: Vec<f64> = items.iter().map(|&i| ys[i as usize]).collect();
+
+        Ok(SoaGrid {
+            origin,
+            cell,
+            nx,
+            ny,
+            starts,
+            items,
+            sxs,
+            sys,
+        })
+    }
+
+    /// Number of indexed points.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns `true` if the grid indexes no points.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Original point id stored at bucket-order position `k`.
+    #[inline]
+    // rim-lint: allow(panic-freedom) — positions are caller-validated against len()
+    pub fn item(&self, k: usize) -> usize {
+        self.items[k] as usize
+    }
+
+    /// Coordinates stored at bucket-order position `k` (exact copy of
+    /// the original point `self.item(k)`).
+    #[inline]
+    // rim-lint: allow(panic-freedom) — positions are caller-validated against len()
+    pub fn point_at(&self, k: usize) -> Point {
+        Point::new(self.sxs[k], self.sys[k])
+    }
+
+    /// Calls `f(k)` with the *bucket-order position* of every point with
+    /// `dist(points[k], c) <= r`. Positions index [`SoaGrid::item`] /
+    /// [`SoaGrid::point_at`]; kernels that iterate the whole store in
+    /// bucket order use this variant so neighbor coordinates never go
+    /// through the id indirection.
+    // rim-lint: allow(panic-freedom) — cell coordinates are clamped to the grid; `starts` has `ncells + 1` entries and bounds the column slices
+    pub fn for_each_pos_in_disk<F: FnMut(usize)>(&self, c: Point, r: f64, mut f: F) {
+        debug_assert!(r >= 0.0);
+        // One extra cell of margin on every side, mirroring UniformGrid:
+        // `c.x + r` can round below the coordinate of a point at distance
+        // exactly `r`, and the closed predicate must still see it.
+        let x0 = ((c.x - r - self.origin.x) / self.cell).floor() - 1.0;
+        let x1 = ((c.x + r - self.origin.x) / self.cell).floor() + 1.0;
+        let y0 = ((c.y - r - self.origin.y) / self.cell).floor() - 1.0;
+        let y1 = ((c.y + r - self.origin.y) / self.cell).floor() + 1.0;
+        let cx0 = x0.max(0.0) as usize;
+        let cx1 = (x1.max(-1.0) as isize).min(self.nx as isize - 1);
+        let cy0 = y0.max(0.0) as usize;
+        let cy1 = (y1.max(-1.0) as isize).min(self.ny as isize - 1);
+        if cx1 < cx0 as isize || cy1 < cy0 as isize {
+            return;
+        }
+        for cy in cy0..=(cy1 as usize) {
+            // Contiguous run of cells within the row: one slice scan per
+            // row instead of one per cell keeps the loop tight.
+            let row = cy * self.nx;
+            let lo = self.starts[row + cx0] as usize;
+            let hi = self.starts[row + cx1 as usize + 1] as usize;
+            for k in lo..hi {
+                // Same formula as Point::dist — sqrt of dx² + dy², then a
+                // distance-level closed comparison — so hits agree with
+                // the naive scan bit for bit.
+                let p = Point::new(self.sxs[k], self.sys[k]);
+                if p.dist(&c) <= r {
+                    f(k);
+                }
+            }
+        }
+    }
+
+    /// Calls `f(i)` for every *original point index* `i` with
+    /// `dist(points[i], c) <= r` (closed disk, distance level — the
+    /// workspace's exactness policy). Visit order is deterministic:
+    /// bucket-major, insertion order within buckets, exactly as
+    /// [`crate::UniformGrid::for_each_in_disk`].
+    pub fn for_each_in_disk<F: FnMut(usize)>(&self, c: Point, r: f64, mut f: F) {
+        self.for_each_pos_in_disk(c, r, |k| f(self.items[k] as usize));
+    }
+
+    /// Collects the indices of all points within distance `r` of `c`, in
+    /// deterministic bucket-major order.
+    pub fn query_disk(&self, c: Point, r: f64) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.for_each_in_disk(c, r, |i| out.push(i));
+        out
+    }
+
+    /// Counts the points within distance `r` of `c`.
+    pub fn count_in_disk(&self, c: Point, r: f64) -> usize {
+        let mut count = 0;
+        self.for_each_in_disk(c, r, |_| count += 1);
+        count
+    }
+
+    /// Distance from the point at *bucket-order position* `k` to its
+    /// nearest other indexed point — the streaming nearest-neighbor
+    /// radius assignment. Returns `None` for a store with fewer than two
+    /// points or an out-of-range position.
+    ///
+    /// The result is exact: disk queries are closed and complete, so the
+    /// minimum found inside a query radius is the global minimum, and
+    /// the value is `min dist_sq` followed by a single `sqrt` — bit-equal
+    /// to [`Point::dist`] of the closest pair.
+    // rim-lint: allow(panic-freedom) — `k` is range-checked; ring search only reads clamped buckets
+    pub fn nearest_dist_at(&self, k: usize) -> Option<f64> {
+        if self.len() < 2 || k >= self.len() {
+            return None;
+        }
+        let c = Point::new(self.sxs[k], self.sys[k]);
+        // Expanding-disk search: a hit inside radius r dominates every
+        // unvisited point (all at distance > r >= hit), so the first
+        // round with any hit yields the true nearest neighbor.
+        let mut r = self.cell;
+        loop {
+            let mut best: Option<f64> = None;
+            self.for_each_pos_in_disk(c, r, |j| {
+                if j == k {
+                    return;
+                }
+                let d = Point::new(self.sxs[j], self.sys[j]).dist_sq(&c);
+                if best.map_or(true, |b| d < b) {
+                    best = Some(d);
+                }
+            });
+            if let Some(d_sq) = best {
+                return Some(d_sq.sqrt());
+            }
+            if r > self.span() + 2.0 * self.cell {
+                // The disk covered the whole grid and found nothing but
+                // `k` itself: the only way this happens is a degenerate
+                // geometry (non-finite coordinates); scan to finish.
+                let mut best = f64::INFINITY;
+                for j in 0..self.len() {
+                    if j != k {
+                        best = best.min(Point::new(self.sxs[j], self.sys[j]).dist_sq(&c));
+                    }
+                }
+                return Some(best.sqrt());
+            }
+            r *= 2.0;
+        }
+    }
+
+    fn span(&self) -> f64 {
+        let w = self.nx as f64 * self.cell;
+        let h = self.ny as f64 * self.cell;
+        (w * w + h * h).sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::UniformGrid;
+    use crate::MAX_INDEXED_POINTS;
+
+    fn lcg_points(n: usize, side: f64) -> Vec<Point> {
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        (0..n).map(|_| Point::new(next() * side, next() * side)).collect()
+    }
+
+    #[test]
+    fn matches_uniform_grid_queries() {
+        let pts = lcg_points(600, 10.0);
+        let soa = SoaPoints::from_points(&pts);
+        let grid = SoaGrid::build(&soa, 0.7);
+        let reference = UniformGrid::build(&pts, 0.7);
+        for (qi, q) in pts.iter().enumerate().step_by(17) {
+            for r in [0.0, 0.35, 0.7, 1.4, 3.0] {
+                let mut got = grid.query_disk(*q, r);
+                let mut want: Vec<usize> = Vec::new();
+                reference.for_each_in_disk(*q, r, |j| want.push(j));
+                got.sort_unstable();
+                want.sort_unstable();
+                assert_eq!(got, want, "query {qi} r={r}");
+            }
+        }
+        assert_eq!(grid.len(), pts.len());
+        assert!(!grid.is_empty());
+    }
+
+    #[test]
+    fn positions_expose_exact_coordinates() {
+        let pts = lcg_points(128, 4.0);
+        let soa = SoaPoints::from_points(&pts);
+        let grid = SoaGrid::build(&soa, 0.5);
+        let mut seen = vec![false; pts.len()];
+        for k in 0..grid.len() {
+            let i = grid.item(k);
+            assert_eq!(grid.point_at(k), pts[i]);
+            assert!(!seen[i], "id {i} appears twice");
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Position and id query variants agree.
+        let q = pts[3];
+        let mut by_pos: Vec<usize> = Vec::new();
+        grid.for_each_pos_in_disk(q, 1.0, |k| by_pos.push(grid.item(k)));
+        assert_eq!(by_pos, grid.query_disk(q, 1.0));
+        assert_eq!(grid.count_in_disk(q, 1.0), by_pos.len());
+    }
+
+    #[test]
+    fn nearest_dist_matches_naive() {
+        let pts = lcg_points(300, 6.0);
+        let soa = SoaPoints::from_points(&pts);
+        let grid = SoaGrid::build(&soa, 0.4);
+        for k in 0..grid.len() {
+            let c = grid.point_at(k);
+            let want = (0..pts.len())
+                .filter(|&j| j != grid.item(k))
+                .map(|j| pts[j].dist_sq(&c))
+                .fold(f64::INFINITY, f64::min)
+                .sqrt();
+            let got = grid.nearest_dist_at(k).expect("n >= 2");
+            assert_eq!(got.to_bits(), want.to_bits(), "position {k}");
+        }
+    }
+
+    #[test]
+    fn nearest_dist_handles_duplicates_and_small_stores() {
+        let empty = SoaGrid::build(&SoaPoints::new(), 1.0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.nearest_dist_at(0), None);
+        let one = SoaGrid::build(&SoaPoints::from_points(&[Point::new(1.0, 1.0)]), 1.0);
+        assert_eq!(one.nearest_dist_at(0), None);
+        // Coincident points: nearest distance is exactly zero.
+        let dup = SoaGrid::build(
+            &SoaPoints::from_points(&[Point::new(2.0, 2.0), Point::new(2.0, 2.0)]),
+            1.0,
+        );
+        assert_eq!(dup.nearest_dist_at(0), Some(0.0));
+        assert_eq!(dup.nearest_dist_at(1), Some(0.0));
+        assert_eq!(dup.nearest_dist_at(2), None);
+    }
+
+    #[test]
+    fn try_build_reports_capacity() {
+        let soa = SoaPoints::from_points(&lcg_points(4, 1.0));
+        assert!(SoaGrid::try_build(&soa, 0.5).is_ok());
+        assert!(fits_u32_index(MAX_INDEXED_POINTS));
+        assert!(!fits_u32_index(MAX_INDEXED_POINTS + 1));
+    }
+
+    #[test]
+    fn degenerate_hints_fall_back() {
+        let pts = lcg_points(50, 3.0);
+        let soa = SoaPoints::from_points(&pts);
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            let grid = SoaGrid::build(&soa, bad);
+            assert_eq!(grid.count_in_disk(pts[0], 0.0), 1);
+        }
+    }
+}

@@ -26,10 +26,12 @@
 #![forbid(unsafe_code)]
 
 pub mod hist;
+pub mod mem;
 pub mod recorder;
 pub mod report;
 
 pub use hist::Histogram;
+pub use mem::peak_rss_kb;
 pub use recorder::{Recorder, Snapshot, SpanRecord};
 
 use std::sync::OnceLock;

@@ -17,6 +17,10 @@
 //!   point) never idles the other workers the way a static split would.
 //!   This replaces the Mutex-queue worker pool `rim_bench::sweep` used
 //!   to carry; the only locks left are uncontended per-slot ones.
+//! * [`par_scatter_u32`] — a sharded-accumulator counting kernel: each
+//!   worker scatters increments into its own private `u32` buffer and
+//!   the buffers are summed at the barrier, so counting kernels (the
+//!   interference engines) never false-share a common output vector.
 //!
 //! Determinism contract: both primitives return results in input order,
 //! and neither changes *what* is computed — only where. Callers that
@@ -82,6 +86,57 @@ where
             })
             .collect()
     })
+}
+
+/// Runs a counting *scatter* in parallel with per-worker accumulators:
+/// `scatter(range, buf)` must add each of range-item `i`'s contributions
+/// into `buf[target]` for targets in `0..out_len`, and the per-worker
+/// buffers are merged (element-wise `u32` sum) after the barrier.
+///
+/// This is the sharded alternative to handing every worker the same
+/// output vector: each worker owns a private zeroed buffer, so there is
+/// no false sharing on hot output cache lines and no synchronization in
+/// the scatter loop.
+///
+/// # Determinism
+///
+/// The output is **thread-count-invariant by construction**: every
+/// worker contributes a disjoint input range, each contribution is a
+/// non-negative integer increment, and integer addition is associative
+/// and commutative — so the merged totals are bit-identical for any
+/// `chunks`, including the sequential `chunks <= 1` path which skips the
+/// shard allocation entirely. (Callers must not rely on *visit order*
+/// inside `scatter`; only additive writes keep the invariance.)
+///
+/// Counts saturate nowhere: callers guarantee each target receives fewer
+/// than `u32::MAX` total increments (receiver-centric interference is
+/// bounded by `n - 1 < u32::MAX` in this workspace — grids refuse more
+/// than `u32::MAX` points).
+pub fn par_scatter_u32<F>(out_len: usize, n: usize, chunks: usize, scatter: F) -> Vec<u32>
+where
+    F: Fn(Range<usize>, &mut [u32]) + Sync,
+{
+    let chunks = chunks.clamp(1, n.max(1));
+    if chunks == 1 {
+        let mut out = vec![0u32; out_len];
+        scatter(0..n, &mut out);
+        return out;
+    }
+    rim_obs::counter_add("par.sharded_scatters", 1);
+    let shards = par_map_ranges(n, chunks, |r| {
+        let mut buf = vec![0u32; out_len];
+        scatter(r, &mut buf);
+        buf
+    });
+    // Merge in range order (order is irrelevant to the sums, but keeping
+    // it fixed makes the reduction trivially auditable).
+    let mut out = vec![0u32; out_len];
+    for shard in shards {
+        for (o, s) in out.iter_mut().zip(shard) {
+            *o += s;
+        }
+    }
+    out
 }
 
 /// Recovers a lock even when a sibling worker panicked: the enclosing
@@ -209,6 +264,39 @@ mod tests {
     #[test]
     fn map_single_item() {
         assert_eq!(parallel_map(vec![7], |i: i32| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn scatter_u32_is_thread_count_invariant() {
+        // A deterministic scatter: item i increments (i*i + 3) % out_len
+        // and i % out_len. Totals must be identical for every chunking.
+        let out_len = 37;
+        let n = 500;
+        let run = |chunks| {
+            par_scatter_u32(out_len, n, chunks, |range, buf| {
+                for i in range {
+                    buf[(i * i + 3) % out_len] += 1;
+                    buf[i % out_len] += 1;
+                }
+            })
+        };
+        let reference = run(1);
+        assert_eq!(reference.iter().map(|&c| c as usize).sum::<usize>(), 2 * n);
+        for chunks in 2..=8 {
+            assert_eq!(run(chunks), reference, "chunks={chunks}");
+        }
+    }
+
+    #[test]
+    fn scatter_u32_handles_empty_and_degenerate() {
+        assert_eq!(par_scatter_u32(4, 0, 3, |_, _| {}), vec![0; 4]);
+        assert_eq!(par_scatter_u32(0, 10, 3, |_, _| {}), Vec::<u32>::new());
+        let one = par_scatter_u32(2, 1, 200, |r, buf| {
+            for _ in r {
+                buf[1] += 7;
+            }
+        });
+        assert_eq!(one, vec![0, 7]);
     }
 
     #[test]

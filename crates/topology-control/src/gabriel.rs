@@ -63,7 +63,7 @@ pub fn gabriel_graph_with(nodes: &NodeSet, udg: &AdjacencyList, engine: Engine) 
             }
             Topology::from_graph(nodes.clone(), g)
         }
-        Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed => {
+        Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed | Engine::Streaming => {
             gabriel_graph_parallel(nodes, udg, 1)
         }
         Engine::Parallel | Engine::Auto => {

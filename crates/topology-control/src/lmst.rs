@@ -159,7 +159,7 @@ fn selections(
     let n = nodes.len();
     match engine {
         Engine::Naive => (0..n).map(|u| local_selection_naive(nodes, udg, u)).collect(),
-        Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed => {
+        Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed | Engine::Streaming => {
             let mut scratch = Scratch::new(n);
             (0..n).map(|u| scratch.selection(nodes, udg, u)).collect()
         }

@@ -54,6 +54,9 @@ pub(crate) fn resolve(engine: Engine, n: usize) -> Engine {
         }
         Engine::PhysicalNaive => Engine::Naive,
         Engine::PhysicalIndexed => Engine::Indexed,
+        // The streaming interference kernel has no witness-construction
+        // analogue; it normalizes to the indexed strategy likewise.
+        Engine::Streaming => Engine::Indexed,
         e => e,
     }
 }

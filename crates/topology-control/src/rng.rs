@@ -63,7 +63,7 @@ pub fn relative_neighborhood_graph_with(
             }
             Topology::from_graph(nodes.clone(), g)
         }
-        Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed => {
+        Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed | Engine::Streaming => {
             relative_neighborhood_graph_parallel(nodes, udg, 1)
         }
         Engine::Parallel | Engine::Auto => {

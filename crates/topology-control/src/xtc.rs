@@ -52,7 +52,7 @@ pub fn keeps_edge(nodes: &NodeSet, udg: &AdjacencyList, u: usize, v: usize) -> b
 /// return the same topology.
 pub fn xtc_with(nodes: &NodeSet, udg: &AdjacencyList, engine: Engine) -> Topology {
     match pipeline::resolve(engine, nodes.len()) {
-        Engine::Naive | Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed => {
+        Engine::Naive | Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed | Engine::Streaming => {
             xtc_parallel(nodes, udg, 1)
         }
         Engine::Parallel | Engine::Auto => xtc_parallel(nodes, udg, rim_par::num_threads()),

@@ -57,7 +57,7 @@ fn cone_selection(nodes: &NodeSet, udg: &AdjacencyList, u: usize, best: &mut [Op
 pub fn yao_graph_with(nodes: &NodeSet, udg: &AdjacencyList, k: usize, engine: Engine) -> Topology {
     assert!(k >= 1, "need at least one cone");
     match pipeline::resolve(engine, nodes.len()) {
-        Engine::Naive | Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed => {
+        Engine::Naive | Engine::Indexed | Engine::PhysicalNaive | Engine::PhysicalIndexed | Engine::Streaming => {
             yao_graph_parallel(nodes, udg, k, 1)
         }
         Engine::Parallel | Engine::Auto => {

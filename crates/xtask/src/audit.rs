@@ -491,6 +491,9 @@ pub const PANIC_FREE_ROOTS: &[&str] = &[
     "witness_index",
     "physical_interference_vector_with",
     "sinr_interference_with",
+    "interference_counts",
+    "interference_counts_sharded",
+    "par_scatter_u32",
 ];
 
 /// Finds the first occurrence of each panicking construct inside a

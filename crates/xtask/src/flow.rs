@@ -772,6 +772,8 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "gabriel_graph_with",
     "physical_interference_vector_with",
     "sinr_interference_with",
+    "interference_counts_sharded",
+    "par_scatter_u32",
 ];
 
 /// Atomic read-modify-write methods (order-sensitive cross-thread

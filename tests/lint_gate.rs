@@ -93,6 +93,32 @@ fn physical_engine_obligations_stay_registered() {
 }
 
 #[test]
+fn streaming_kernel_obligations_stay_registered() {
+    // The million-node streaming path's standing obligations: both
+    // counting entry points and the sharded scatter primitive carry the
+    // panic-freedom closure check, the thread-count-invariant kernels
+    // are determinism roots, and the naive oracle the streaming
+    // differential suite pins against stays retained. Dropping any of
+    // these would silently un-audit the SoA/streaming layer.
+    for root in ["interference_counts", "interference_counts_sharded", "par_scatter_u32"] {
+        assert!(
+            rim_xtask::audit::PANIC_FREE_ROOTS.contains(&root),
+            "`{root}` must stay in PANIC_FREE_ROOTS"
+        );
+    }
+    for root in ["interference_counts_sharded", "par_scatter_u32"] {
+        assert!(
+            rim_xtask::flow::DETERMINISM_ROOTS.contains(&root),
+            "`{root}` must stay in DETERMINISM_ROOTS"
+        );
+    }
+    assert!(
+        rim_xtask::audit::RETAINED_ORACLES.contains(&"interference_vector_naive"),
+        "the naive oracle anchors the streaming differential suite"
+    );
+}
+
+#[test]
 fn graph_oracle_verdicts_agree_with_the_token_scan() {
     // Same workspace, both implementations: the graph-based audit is
     // stricter in general (it needs a call chain, not a mention), but on
