@@ -1,0 +1,125 @@
+//! Long-horizon churn workload bench: seeded traces through the
+//! incremental engine, timed **per edit** so the JSONL carries exact
+//! p50/p95 per-edit latency — the SLO surface of the dynamic structure.
+//!
+//! Claims the JSONL should witness:
+//!
+//! * Per-edit latency stays flat as the horizon grows: the 10⁶-edit
+//!   tier's p95 sits in the same band as the 10⁵-edit tier's, because
+//!   compaction keeps the engine sized by the live population, not the
+//!   edit count.
+//! * Memory stays flat over a million edits: the `edits_chunked` case
+//!   (which allocates no per-sample buffer proportional to the edit
+//!   count) reports a `peak_rss_delta_kb` bounded by the live
+//!   population, not the horizon.
+//! * The obs counter deltas (`churn.*`, `dynamic.*`) ride along in each
+//!   record, so compaction/rebuild counts are machine-readable next to
+//!   the latency they explain.
+//!
+//! The tiers double as a statistical gate: on the uniform family the
+//! maintained max interference must stay inside the churn-calibrated
+//! √(log n) envelope at the end of every tier (see
+//! `crates/churn/tests/replay_differential.rs` for the calibration).
+
+use rim_bench::timing::{CaseMeta, Harness};
+use rim_churn::{decode_snapshot, encode_snapshot, ChurnConfig, ChurnSim, Family};
+
+/// `(target population, churn edits)` tiers; the last is the sustained
+/// 10⁶-edit run at a service-sized population.
+const TIERS: &[(usize, u64)] = &[(1_024, 100_000), (4_096, 1_000_000)];
+
+/// Churn variant of `rim_core::sqrt_log_envelope`: relink ops attach
+/// k-th-nearest links (k ≤ 4), lifting the constant above the pure
+/// nearest-neighbor band, so the upper edge gets the same calibrated
+/// 1.35× allowance the differential suite uses.
+fn churn_envelope(live: usize) -> (f64, f64) {
+    let (lo, hi) = rim_core::sqrt_log_envelope(live);
+    (lo, hi * 1.35)
+}
+
+/// A sim bootstrapped to its target population, with `edits` ops of
+/// post-bootstrap budget left — so every timed iteration is a steady
+/// state churn edit, never a ramp arrival.
+fn bootstrapped(cfg: ChurnConfig, edits: u64) -> ChurnSim {
+    let mut sim = ChurnSim::new(cfg, edits + cfg.n0 as u64);
+    for _ in 0..cfg.n0 {
+        sim.step();
+    }
+    sim
+}
+
+fn main() {
+    let mut h = Harness::new("churn_workload");
+    for &(n0, edits) in TIERS {
+        let cfg = ChurnConfig { family: Family::Uniform, n0, seed: 1 };
+
+        // Flat-memory witness first (while the process watermark is
+        // low): 10k-edit chunks per iteration, so the harness's own
+        // sample buffer stays tiny and `peak_rss_delta_kb` reflects the
+        // engine — which compaction keeps sized by the live population.
+        let chunk = 10_000u64;
+        let mut sim = bootstrapped(cfg, edits);
+        h.bench_scaled(
+            &format!("edits_chunked/{n0}"),
+            CaseMeta::engine_sized("dynamic", n0 as u64),
+            0,
+            (edits / chunk) as u32,
+            || {
+                for _ in 0..chunk {
+                    sim.step();
+                }
+                sim.graph_interference()
+            },
+        );
+        let dead = sim.engine().len() - sim.engine().live_count();
+        assert!(
+            dead <= sim.engine().live_count().max(256),
+            "tombstones leaked: {dead} dead vs {} live",
+            sim.engine().live_count()
+        );
+
+        // Per-edit latency: one timed iteration = one edit, so the
+        // JSONL p50/p95 are exact per-edit percentiles over the whole
+        // horizon (warmup 0: the sim is already in steady state).
+        let mut sim = bootstrapped(cfg, edits);
+        h.bench_scaled(
+            &format!("edit/{n0}"),
+            CaseMeta::engine_sized("dynamic", n0 as u64),
+            0,
+            edits as u32,
+            || sim.step(),
+        );
+        assert_eq!(sim.remaining(), 0, "budget must be fully consumed");
+
+        // Statistical gate: the maintained maximum must end the tier
+        // inside the churn-calibrated √(log n) envelope.
+        let (lo, hi) = churn_envelope(sim.live_count());
+        let max = sim.graph_interference() as f64;
+        assert!(
+            (lo..=hi).contains(&max),
+            "sqrt(log n) gate violated under churn: n0={n0} edits={edits} \
+             live={} max I = {max} outside [{lo:.2}, {hi:.2}]",
+            sim.live_count()
+        );
+        println!(
+            "  gate: n0={n0:>6} edits={edits:>8} live={} max I = {max} in [{lo:.2}, {hi:.2}]",
+            sim.live_count()
+        );
+
+        // Snapshot codec at this population (encode from live state,
+        // decode from frozen bytes — the checkpoint/restore cost a
+        // long-horizon operator actually pays).
+        let bytes = encode_snapshot(&sim);
+        h.bench_with(
+            &format!("snapshot/encode/{n0}"),
+            CaseMeta::sized(n0 as u64),
+            || encode_snapshot(&sim),
+        );
+        h.bench_with(
+            &format!("snapshot/decode/{n0}"),
+            CaseMeta::sized(n0 as u64),
+            || decode_snapshot(&bytes).expect("own snapshot decodes"),
+        );
+    }
+    h.finish();
+}

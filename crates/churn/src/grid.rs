@@ -1,0 +1,283 @@
+//! Uniform bucket grid over the live node set, for nearest-live-node
+//! queries during churn.
+//!
+//! The engine's own `SpatialIndex` covers *slots* (including tombstoned
+//! departures) and rebuilds lazily; arrivals need the nearest **live**
+//! node *now*, so the sim maintains this small secondary grid keyed by
+//! live ids. Two properties matter:
+//!
+//! * **Determinism independent of history.** Bucket contents are
+//!   unordered (removal swap-pops), so every query tie-breaks by
+//!   `(distance, id)` — a total order. A grid rebuilt from scratch (after
+//!   compaction or snapshot restore) answers bit-identically to one that
+//!   evolved in place, which is what makes replay exact without
+//!   serializing the grid.
+//! * **O(1) expected updates.** The cell size targets one expected live
+//!   node per cell at the scenario's population; adversarial families
+//!   (collinear, duplicates) degrade gracefully to short linear scans at
+//!   the test sizes they run at.
+
+use rim_geom::Point;
+
+/// Bucket grid over `[0, side]²` (out-of-domain points clamp to the
+/// border cells). Stores ids only; positions live in the engine and are
+/// supplied per query.
+#[derive(Debug, Clone)]
+pub struct LiveGrid {
+    /// Cell side length.
+    cell: f64,
+    /// Cells per axis.
+    per_axis: usize,
+    /// `per_axis²` buckets of live ids, row-major.
+    cells: Vec<Vec<u32>>,
+    /// Total live ids stored.
+    len: usize,
+}
+
+impl LiveGrid {
+    /// An empty grid over `[0, side]²` sized for about `expected_n` live
+    /// nodes (≈1 per cell).
+    pub fn new(side: f64, expected_n: usize) -> Self {
+        assert!(side > 0.0 && side.is_finite(), "grid domain must be positive");
+        let per_axis = ((expected_n as f64).sqrt().ceil() as usize).clamp(1, 4096);
+        LiveGrid {
+            cell: side / per_axis as f64,
+            per_axis,
+            cells: vec![Vec::new(); per_axis * per_axis],
+            len: 0,
+        }
+    }
+
+    /// Number of live ids stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the grid is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Bucket coordinates of `p`, clamped into the grid.
+    fn cell_of(&self, p: Point) -> (usize, usize) {
+        let max = (self.per_axis - 1) as f64;
+        let cx = (p.x / self.cell).floor().clamp(0.0, max) as usize;
+        let cy = (p.y / self.cell).floor().clamp(0.0, max) as usize;
+        (cx, cy)
+    }
+
+    /// Inserts a live id at its position.
+    // rim-lint: allow(panic-freedom) — cell_of clamps into bounds
+    pub fn insert(&mut self, id: u32, p: Point) {
+        let (cx, cy) = self.cell_of(p);
+        self.cells[cy * self.per_axis + cx].push(id);
+        self.len += 1;
+    }
+
+    /// Removes a live id (looked up at its position); returns whether it
+    /// was present.
+    // rim-lint: allow(panic-freedom) — cell_of clamps into bounds; swap_remove index comes from position()
+    pub fn remove(&mut self, id: u32, p: Point) -> bool {
+        let (cx, cy) = self.cell_of(p);
+        let bucket = &mut self.cells[cy * self.per_axis + cx];
+        match bucket.iter().position(|&x| x == id) {
+            Some(i) => {
+                bucket.swap_remove(i);
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The `k` nearest stored ids to `p` (excluding `exclude`), sorted
+    /// ascending by `(distance, id)` — a total order, so the result is
+    /// independent of bucket ordering and therefore of grid history.
+    /// Returns fewer than `k` entries if fewer live nodes exist.
+    ///
+    /// `pos` supplies positions (the engine owns them).
+    // rim-lint: allow(panic-freedom) — ring scan indices are clamped to the grid bounds
+    pub fn nearest_k(
+        &self,
+        p: Point,
+        k: usize,
+        exclude: Option<u32>,
+        pos: impl Fn(u32) -> Point,
+    ) -> Vec<(f64, u32)> {
+        let mut best: Vec<(f64, u32)> = Vec::with_capacity(k + 1);
+        if k == 0 || self.len == 0 {
+            return best;
+        }
+        let (pcx, pcy) = self.cell_of(p);
+        let (pcx, pcy) = (pcx as i64, pcy as i64);
+        let last = (self.per_axis - 1) as i64;
+        for ring in 0..=(self.per_axis as i64) {
+            // Once k candidates are held, no cell whose nearest point is
+            // beyond the current k-th distance can improve the answer.
+            // The nearest point of a ring-`r` cell is ≥ (r−1)·cell away.
+            if best.len() == k {
+                if let Some(&(kd, _)) = best.last() {
+                    if (ring - 1) as f64 * self.cell > kd {
+                        break;
+                    }
+                }
+            }
+            let (x0, x1) = ((pcx - ring).max(0), (pcx + ring).min(last));
+            let (y0, y1) = ((pcy - ring).max(0), (pcy + ring).min(last));
+            if pcx - ring > last || pcx + ring < 0 || pcy - ring > last || pcy + ring < 0 {
+                continue;
+            }
+            for cy in y0..=y1 {
+                for cx in x0..=x1 {
+                    // Border of the ring only: the interior was scanned
+                    // on earlier rings.
+                    if ring > 0
+                        && (cx - pcx).abs() != ring
+                        && (cy - pcy).abs() != ring
+                    {
+                        continue;
+                    }
+                    for &id in &self.cells[(cy as usize) * self.per_axis + cx as usize] {
+                        if Some(id) == exclude {
+                            continue;
+                        }
+                        let d = pos(id).dist(&p);
+                        let cand = (d, id);
+                        // Total (distance, id) order; strict-less keeps
+                        // the result unique under coincident nodes.
+                        let at = best
+                            .iter()
+                            .position(|&(bd, bi)| {
+                                d < bd || (d.total_cmp(&bd).is_eq() && id < bi)
+                            })
+                            .unwrap_or(best.len());
+                        if at < k {
+                            best.insert(at, cand);
+                            best.truncate(k);
+                        }
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// The single nearest stored id to `p` (excluding `exclude`), with
+    /// its distance.
+    pub fn nearest_live(
+        &self,
+        p: Point,
+        exclude: Option<u32>,
+        pos: impl Fn(u32) -> Point,
+    ) -> Option<(f64, u32)> {
+        self.nearest_k(p, 1, exclude, pos).first().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pts() -> Vec<Point> {
+        vec![
+            Point::new(0.1, 0.1),
+            Point::new(0.9, 0.9),
+            Point::new(0.5, 0.52),
+            Point::new(0.5, 0.52), // exact duplicate of 2
+            Point::new(0.52, 0.5),
+            Point::new(3.5, 3.5),
+        ]
+    }
+
+    fn grid_with(pts: &[Point]) -> LiveGrid {
+        let mut g = LiveGrid::new(4.0, pts.len());
+        for (i, &p) in pts.iter().enumerate() {
+            g.insert(i as u32, p);
+        }
+        g
+    }
+
+    /// Brute-force oracle with the same (distance, id) total order.
+    fn oracle_k(pts: &[Point], q: Point, k: usize, exclude: Option<u32>) -> Vec<(f64, u32)> {
+        let mut all: Vec<(f64, u32)> = pts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| Some(i as u32) != exclude)
+            .map(|(i, p)| (p.dist(&q), i as u32))
+            .collect();
+        all.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        all.truncate(k);
+        all
+    }
+
+    #[test]
+    fn nearest_matches_brute_force() {
+        let pts = pts();
+        let g = grid_with(&pts);
+        for (qi, &q) in pts.iter().enumerate() {
+            for k in 1..=4 {
+                let got = g.nearest_k(q, k, Some(qi as u32), |id| pts[id as usize]);
+                let want = oracle_k(&pts, q, k, Some(qi as u32));
+                assert_eq!(got.len(), want.len());
+                for (g, w) in got.iter().zip(&want) {
+                    assert_eq!(g.1, w.1, "query {qi} k={k}: {got:?} vs {want:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_positions_tie_break_by_id() {
+        let pts = pts();
+        let g = grid_with(&pts);
+        // Query from the duplicate pair: the *other* duplicate (d = 0)
+        // must win, lower id first when both are excluded-equal.
+        let got = g.nearest_live(Point::new(0.5, 0.52), Some(3), |id| pts[id as usize]);
+        assert_eq!(got.map(|(_, id)| id), Some(2));
+        let got = g.nearest_live(Point::new(0.5, 0.52), Some(2), |id| pts[id as usize]);
+        assert_eq!(got.map(|(_, id)| id), Some(3));
+    }
+
+    #[test]
+    fn insertion_order_is_immaterial() {
+        let pts = pts();
+        let fwd = grid_with(&pts);
+        let mut rev = LiveGrid::new(4.0, pts.len());
+        for (i, &p) in pts.iter().enumerate().rev() {
+            rev.insert(i as u32, p);
+        }
+        let q = Point::new(0.45, 0.45);
+        assert_eq!(
+            fwd.nearest_k(q, 3, None, |id| pts[id as usize]),
+            rev.nearest_k(q, 3, None, |id| pts[id as usize]),
+        );
+    }
+
+    #[test]
+    fn remove_then_query_skips_the_removed() {
+        let pts = pts();
+        let mut g = grid_with(&pts);
+        assert!(g.remove(2, pts[2]));
+        assert!(!g.remove(2, pts[2]), "double remove");
+        assert_eq!(g.len(), pts.len() - 1);
+        let got = g.nearest_live(Point::new(0.5, 0.52), None, |id| pts[id as usize]);
+        assert_eq!(got.map(|(_, id)| id), Some(3), "the duplicate survivor wins");
+    }
+
+    #[test]
+    fn out_of_domain_points_clamp() {
+        let mut g = LiveGrid::new(1.0, 4);
+        g.insert(0, Point::new(-5.0, -5.0));
+        g.insert(1, Point::new(9.0, 9.0));
+        let all = [Point::new(-5.0, -5.0), Point::new(9.0, 9.0)];
+        let got = g.nearest_live(Point::new(0.0, 0.0), None, |id| all[id as usize]);
+        assert_eq!(got.map(|(_, id)| id), Some(0));
+    }
+
+    #[test]
+    fn empty_grid_answers_empty() {
+        let g = LiveGrid::new(1.0, 16);
+        assert!(g.is_empty());
+        assert_eq!(g.nearest_live(Point::ORIGIN, None, |_| Point::ORIGIN), None);
+    }
+}

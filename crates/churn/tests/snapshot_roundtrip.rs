@@ -1,0 +1,116 @@
+//! Property tests for snapshot/restore: interrupting a run at *any*
+//! edit and restoring from bytes must be observationally invisible.
+//!
+//! For random `(family, n0, seed, k, suffix)` the suite runs `k` edits,
+//! snapshots, restores, replays the suffix on both the original and the
+//! restored sim, and requires bit-identical results on the whole
+//! equality surface: live interference vector, `I(G')`, the coverage
+//! histogram, deterministic op counters, and the final snapshot bytes
+//! themselves (which cover positions, radii, liveness, edges, the
+//! pending-overlay boundary, and the RNG stream position).
+
+use rim_churn::{decode_snapshot, encode_snapshot, ChurnConfig, ChurnSim, Family};
+use rim_rng::prop::check;
+use rim_rng::{prop_ensure, prop_ensure_eq, SmallRng};
+
+#[derive(Debug)]
+struct Case {
+    cfg: ChurnConfig,
+    snapshot_at: u64,
+    suffix: u64,
+}
+
+fn gen_case(rng: &mut SmallRng) -> Case {
+    let family = Family::ALL[rng.gen_range(0usize..Family::ALL.len())];
+    let cfg = ChurnConfig {
+        family,
+        n0: rng.gen_range(4usize..80),
+        seed: rng.next_u64(),
+    };
+    Case {
+        cfg,
+        snapshot_at: rng.gen_range(0u64..900),
+        suffix: rng.gen_range(1u64..400),
+    }
+}
+
+#[test]
+fn snapshot_restore_replay_is_bit_identical() {
+    check(
+        "snapshot_restore_replay_is_bit_identical",
+        96,
+        gen_case,
+        |case| {
+            let budget = case.snapshot_at + case.suffix;
+            // The uninterrupted reference run.
+            let mut whole = ChurnSim::new(case.cfg, budget);
+            whole.run_to_end();
+
+            // The interrupted run: k edits, freeze to bytes, restore,
+            // finish.
+            let mut prefix = ChurnSim::new(case.cfg, budget);
+            for _ in 0..case.snapshot_at {
+                prefix.step();
+            }
+            let frozen = encode_snapshot(&prefix);
+            let mut resumed = decode_snapshot(&frozen)
+                .map_err(|e| format!("own snapshot failed to decode: {e}"))?;
+            // Restoring must itself be invisible: same bytes out.
+            prop_ensure_eq!(encode_snapshot(&resumed), frozen);
+            resumed.run_to_end();
+
+            prop_ensure_eq!(resumed.live_interference(), whole.live_interference());
+            prop_ensure_eq!(resumed.graph_interference(), whole.graph_interference());
+            prop_ensure_eq!(
+                resumed.engine().coverage_histogram(),
+                whole.engine().coverage_histogram()
+            );
+            prop_ensure_eq!(resumed.counts(), whole.counts());
+            prop_ensure!(
+                encode_snapshot(&resumed) == encode_snapshot(&whole),
+                "final snapshots differ after an interrupted run"
+            );
+            Ok(())
+        },
+    );
+}
+
+#[test]
+fn double_interruption_composes() {
+    // Snapshot/restore twice mid-run: the composition must still equal
+    // the uninterrupted run (restore is idempotent state transfer, not
+    // an approximation that degrades).
+    let cfg = ChurnConfig { family: Family::Clustered, n0: 40, seed: 1234 };
+    let mut whole = ChurnSim::new(cfg, 1_500);
+    whole.run_to_end();
+
+    let mut s = ChurnSim::new(cfg, 1_500);
+    for _ in 0..400 {
+        s.step();
+    }
+    let mut s = decode_snapshot(&encode_snapshot(&s)).expect("first freeze");
+    for _ in 0..600 {
+        s.step();
+    }
+    let mut s = decode_snapshot(&encode_snapshot(&s)).expect("second freeze");
+    s.run_to_end();
+    assert_eq!(encode_snapshot(&s), encode_snapshot(&whole));
+}
+
+#[test]
+fn snapshots_at_every_early_edit_decode() {
+    // The encoder must be total over reachable states — including the
+    // awkward early ones (empty instance, mid-bootstrap, first
+    // departures).
+    let cfg = ChurnConfig { family: Family::Duplicate, n0: 12, seed: 77 };
+    let mut s = ChurnSim::new(cfg, 80);
+    for edit in 0..=80 {
+        let bytes = encode_snapshot(&s);
+        let r = decode_snapshot(&bytes)
+            .unwrap_or_else(|e| panic!("undecodable snapshot at edit {edit}: {e}"));
+        assert_eq!(encode_snapshot(&r), bytes, "unstable encoding at edit {edit}");
+        if s.step().is_none() {
+            break;
+        }
+    }
+}

@@ -1,6 +1,7 @@
 //! The CLI subcommands.
 
 use crate::args::{Args, UsageError};
+use rim_churn::{decode_snapshot, encode_snapshot, ChurnConfig, ChurnSim};
 use rim_core::analysis::InterferenceSummary;
 use rim_core::optimal::{min_interference_topology, SolverLimits};
 use rim_core::physical::{
@@ -43,6 +44,18 @@ commands:
   optimal   --nodes FILE [--max-steps N]   (exact solver; n <= 12)
   simulate  --nodes FILE --topology FILE [--slots N] [--mac csma|aloha]
             [--flows N] [--period N] [--seed K] [--obs human|jsonl]
+  churn     --trace FAMILY:N --edits M [--seed K]
+            (FAMILY = uniform|clustered|exp-chain|collinear|duplicate;
+             seeded churn trace through the incremental engine, checkpoint
+             JSONL records plus a timing summary on stdout)
+            [--checkpoint-every E]   (default: a tenth of the edit budget)
+            [--out FILE]             (JSONL destination, - = stdout)
+            [--snapshot FILE]        (freeze the final state to a binary snapshot)
+            [--resume FILE]          (continue from a snapshot, which carries
+             the trace/seed; --edits then EXTENDS the budget by M more ops)
+            [--verify true]          (cross-check every checkpoint against the
+             naive from-scratch oracle; O(live^2) per checkpoint)
+            [--obs human|jsonl]
   schedule  --nodes FILE --topology FILE   (conflict-free TDMA frame)
   render    --nodes FILE --topology FILE [--out FILE.svg]
             [--disks true|false] [--labels true|false] [--arcs true|false]
@@ -429,6 +442,150 @@ pub fn simulate(args: &Args) -> Result<(), UsageError> {
     println!("energy per delivered:   {:.5}", m.energy_per_delivery());
     println!("mean delay (slots):     {:.1}", m.mean_delay());
     println!("drops (no route/retry): {} / {}", m.dropped_no_route, m.dropped_retries);
+    Ok(())
+}
+
+/// Parses a `family:N` churn trace spec.
+fn parse_trace_spec(spec: &str) -> Result<(rim_churn::Family, usize), UsageError> {
+    let err = || {
+        UsageError(format!(
+            "bad --trace spec {spec} (expected FAMILY:N, FAMILY one of \
+             uniform, clustered, exp-chain, collinear, duplicate)"
+        ))
+    };
+    let (tag, count) = spec.split_once(':').ok_or_else(err)?;
+    let family = rim_churn::Family::parse(tag).ok_or_else(err)?;
+    let n0: usize = count
+        .parse()
+        .map_err(|e| UsageError(format!("bad node count in --trace {spec}: {e}")))?;
+    if n0 == 0 {
+        return Err(UsageError("--trace population must be >= 1".into()));
+    }
+    Ok((family, n0))
+}
+
+/// `rim churn` — long-horizon churn workload: drive a seeded trace
+/// through the incremental interference engine, emitting deterministic
+/// checkpoint JSONL records plus one (wall-clock) timing summary.
+pub fn churn(args: &Args) -> Result<(), UsageError> {
+    let resume = args.opt("resume", "");
+    let out = args.opt("out", "-");
+    let snapshot = args.opt("snapshot", "");
+    let verify: bool = args.opt_parse("verify", false)?;
+    let every: u64 = args.opt_parse("checkpoint-every", 0)?;
+    let mode = obs_mode(args)?;
+    let mut sim = if resume.is_empty() {
+        let spec = args.required("trace")?;
+        let edits: u64 = args.opt_parse("edits", 10_000)?;
+        let seed: u64 = args.opt_parse("seed", 0)?;
+        args.finish()?;
+        let (family, n0) = parse_trace_spec(&spec)?;
+        ChurnSim::new(ChurnConfig { family, n0, seed }, edits)
+    } else {
+        // The snapshot carries the config, trace position, and counters;
+        // --trace/--seed are rejected alongside it (unconsumed). --edits
+        // changes meaning: it EXTENDS the budget by that many ops (the
+        // op stream is budget-independent, so the extended run replays
+        // exactly the suffix an uninterrupted longer run would produce).
+        let extra: u64 = args.opt_parse("edits", 0)?;
+        args.finish()?;
+        let bytes = std::fs::read(&resume)
+            .map_err(|e| UsageError(format!("cannot read {resume}: {e}")))?;
+        let mut sim =
+            decode_snapshot(&bytes).map_err(|e| UsageError(format!("{resume}: {e}")))?;
+        sim.extend_budget(extra);
+        sim
+    };
+    let budget = sim.remaining();
+    let every = if every > 0 { every } else { (budget / 10).max(1) };
+    let rec = obs_install(mode);
+
+    let oracle_check = |sim: &ChurnSim| -> Result<(), UsageError> {
+        let (t, slots) = sim.engine().live_topology();
+        let want = rim_core::receiver::interference_vector_naive(&t);
+        let got: Vec<usize> = slots
+            .iter()
+            .map(|&v| sim.engine().interference_at(v))
+            .collect();
+        if got != want {
+            return Err(UsageError(format!(
+                "maintained counts diverged from the naive oracle at edit {}",
+                sim.counts().edits
+            )));
+        }
+        Ok(())
+    };
+
+    // One record up front (the resumed/initial state), one per cadence
+    // tick, then the timing summary. Checkpoint records are a pure
+    // function of (config, edit index); only the summary carries wall
+    // clock.
+    let mut records = vec![sim.checkpoint_record()];
+    let mut edit_ns: Vec<u64> = Vec::with_capacity(budget.min(2_000_000) as usize);
+    let t0 = std::time::Instant::now();
+    {
+        let _root = rim_obs::span("churn");
+        loop {
+            let t = std::time::Instant::now();
+            if sim.step().is_none() {
+                break;
+            }
+            edit_ns.push(t.elapsed().as_nanos() as u64);
+            if sim.counts().edits % every == 0 {
+                if verify {
+                    oracle_check(&sim)?;
+                }
+                records.push(sim.checkpoint_record());
+            }
+        }
+    }
+    let wall = t0.elapsed();
+    if verify {
+        oracle_check(&sim)?;
+    }
+    // The final state is always recorded, even when the cadence does not
+    // land on the last edit (resumed budgets rarely divide evenly).
+    if sim.counts().edits % every != 0 || records.len() == 1 {
+        records.push(sim.checkpoint_record());
+    }
+    emit_obs(mode, rec);
+
+    edit_ns.sort_unstable();
+    let pct = |q: f64| -> u64 {
+        match edit_ns.len() {
+            0 => 0,
+            len => edit_ns[((q * (len - 1) as f64).round() as usize).min(len - 1)],
+        }
+    };
+    let done = edit_ns.len() as u64;
+    let mut summary = format!(
+        "{{\"record\":\"churn_summary\",\"family\":\"{}\",\"n0\":{},\"seed\":{},\
+         \"edits\":{},\"live\":{},\"max_interference\":{},\"wall_ms\":{},\
+         \"edits_per_sec\":{:.0},\"p50_edit_ns\":{},\"p95_edit_ns\":{}",
+        sim.config().family,
+        sim.config().n0,
+        sim.config().seed,
+        done,
+        sim.live_count(),
+        sim.graph_interference(),
+        wall.as_millis(),
+        done as f64 / wall.as_secs_f64().max(1e-9),
+        pct(0.50),
+        pct(0.95),
+    );
+    if let Some(kb) = rim_obs::peak_rss_kb() {
+        summary.push_str(&format!(",\"peak_rss_kb\":{kb}"));
+    }
+    summary.push('}');
+    records.push(summary);
+
+    let mut body = records.join("\n");
+    body.push('\n');
+    write_out(&out, &body)?;
+    if !snapshot.is_empty() {
+        std::fs::write(&snapshot, encode_snapshot(&sim))
+            .map_err(|e| UsageError(format!("cannot write {snapshot}: {e}")))?;
+    }
     Ok(())
 }
 

@@ -7,6 +7,7 @@
 //! rim analyze  --nodes nodes.txt --topology topo.txt
 //! rim optimal  --nodes small.txt
 //! rim simulate --nodes nodes.txt --topology topo.txt --slots 20000 --mac csma
+//! rim churn    --trace uniform:1024 --edits 100000 --seed 7 --out churn.jsonl
 //! rim schedule --nodes nodes.txt --topology topo.txt
 //! rim render   --nodes nodes.txt --topology topo.txt --out picture.svg
 //! ```
@@ -37,6 +38,7 @@ fn run(args: Args) -> Result<(), UsageError> {
         "analyze" => commands::analyze(&args),
         "optimal" => commands::optimal(&args),
         "simulate" => commands::simulate(&args),
+        "churn" => commands::churn(&args),
         "schedule" => commands::schedule(&args),
         "render" => commands::render(&args),
         "help" => {

@@ -18,7 +18,7 @@ fn help_lists_all_commands() {
     let out = rim().arg("help").output().unwrap();
     assert!(out.status.success());
     let text = String::from_utf8(out.stdout).unwrap();
-    for cmd in ["generate", "control", "analyze", "optimal", "simulate", "schedule"] {
+    for cmd in ["generate", "control", "analyze", "optimal", "simulate", "churn", "schedule"] {
         assert!(text.contains(cmd), "help missing {cmd}");
     }
 }
@@ -540,4 +540,101 @@ fn analyze_generate_rejects_bad_specs() {
         .unwrap();
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--side must be positive"));
+}
+
+#[test]
+fn churn_checkpoints_are_deterministic_and_verified() {
+    let run = || {
+        rim()
+            .args([
+                "churn", "--trace", "uniform:96", "--edits", "2000", "--seed", "13",
+                "--verify", "true",
+            ])
+            .output()
+            .unwrap()
+    };
+    let out = run();
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let text = String::from_utf8(out.stdout).unwrap();
+    let checkpoints: Vec<&str> =
+        text.lines().filter(|l| l.contains("churn_checkpoint")).collect();
+    assert!(checkpoints.len() >= 10, "cadence produced {} checkpoints", checkpoints.len());
+    assert!(text.lines().last().unwrap().contains("churn_summary"));
+    assert!(text.contains("\"p95_edit_ns\":"));
+
+    // Same (seed, trace): checkpoint records byte-identical (the summary
+    // carries wall clock and is excluded by design).
+    let again = String::from_utf8(run().stdout).unwrap();
+    let again_cp: Vec<&str> =
+        again.lines().filter(|l| l.contains("churn_checkpoint")).collect();
+    assert_eq!(checkpoints, again_cp, "checkpoint JSONL must be deterministic");
+}
+
+#[test]
+fn churn_snapshot_resume_matches_uninterrupted_run() {
+    let dir = tmp_dir("churn");
+    let snap = dir.join("s.bin");
+    let whole = rim()
+        .args(["churn", "--trace", "clustered:64", "--edits", "2400", "--seed", "21"])
+        .output()
+        .unwrap();
+    assert!(whole.status.success(), "{}", String::from_utf8_lossy(&whole.stderr));
+    let whole = String::from_utf8(whole.stdout).unwrap();
+
+    let part = rim()
+        .args(["churn", "--trace", "clustered:64", "--edits", "1000", "--seed", "21"])
+        .arg("--snapshot")
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(part.status.success(), "{}", String::from_utf8_lossy(&part.stderr));
+
+    let resumed = rim()
+        .args(["churn", "--edits", "1400", "--resume"])
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(resumed.status.success(), "{}", String::from_utf8_lossy(&resumed.stderr));
+    let resumed = String::from_utf8(resumed.stdout).unwrap();
+
+    // The resumed run's final checkpoint equals the uninterrupted run's.
+    let last = |text: &str| -> String {
+        text.lines()
+            .filter(|l| l.contains("churn_checkpoint"))
+            .next_back()
+            .expect("a checkpoint record")
+            .to_string()
+    };
+    assert!(last(&whole).contains("\"edit\":2400"));
+    assert_eq!(last(&whole), last(&resumed), "resume diverged from the whole run");
+}
+
+#[test]
+fn churn_rejects_bad_specs_and_corrupt_snapshots() {
+    for (args, needle) in [
+        (vec!["churn", "--trace", "hexagonal:10"], "bad --trace spec"),
+        (vec!["churn", "--trace", "uniform:none"], "bad node count"),
+        (vec!["churn", "--trace", "uniform:0"], "population must be >= 1"),
+        (vec!["churn"], "missing required flag --trace"),
+    ] {
+        let out = rim().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} must fail");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains(needle), "{args:?}: {err}");
+    }
+    // --resume and --trace are mutually exclusive (the snapshot carries
+    // the trace); the stray flag is rejected as unknown.
+    let dir = tmp_dir("churn_bad");
+    let snap = dir.join("garbage.bin");
+    std::fs::write(&snap, b"not a snapshot").unwrap();
+    let out = rim()
+        .args(["churn", "--trace", "uniform:8", "--resume"])
+        .arg(&snap)
+        .output()
+        .unwrap();
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag --trace"));
+
+    let out = rim().arg("churn").arg("--resume").arg(&snap).output().unwrap();
+    assert!(!out.status.success(), "corrupt snapshot must be rejected");
 }

@@ -45,6 +45,14 @@ pub struct DynamicInterference {
     graph: AdjacencyList,
     radii: Vec<f64>,
     cov: Vec<u32>,
+    /// Liveness per slot. Departed nodes are tombstoned — the slot keeps
+    /// its position (ids stay stable, the spatial index never needs a
+    /// deletion path) but is dead: it accepts no edges, receives no
+    /// coverage, and leaves the histogram. Long-churn callers compact by
+    /// rebuilding from [`DynamicInterference::live_topology`].
+    alive: Vec<bool>,
+    /// Number of live slots (`alive.iter().filter(|a| **a).count()`).
+    live: usize,
     /// Whether each node was transmitting (degree > 0) at the last
     /// coverage update — needed to patch coverage when a node's degree
     /// crosses zero without its radius changing (zero-length links).
@@ -79,6 +87,8 @@ impl DynamicInterference {
             graph: AdjacencyList::new(n),
             radii: vec![0.0; n],
             cov: vec![0; n],
+            alive: vec![true; n],
+            live: n,
             was_transmitting: vec![false; n],
             index,
             indexed_len: n,
@@ -143,6 +153,18 @@ impl DynamicInterference {
         self.points.is_empty()
     }
 
+    /// Whether slot `v` holds a live (non-departed) node.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn is_live(&self, v: usize) -> bool {
+        self.alive[v]
+    }
+
+    /// Number of live nodes: [`DynamicInterference::len`] minus
+    /// tombstoned departures.
+    pub fn live_count(&self) -> usize {
+        self.live
+    }
+
     /// Current interference of `v`.
     pub fn interference_at(&self, v: usize) -> usize {
         self.cov[v] as usize
@@ -154,10 +176,29 @@ impl DynamicInterference {
         self.cur_max
     }
 
+    /// The maintained coverage-count histogram: entry `c` is the number
+    /// of **live** nodes with coverage count exactly `c`, trimmed so no
+    /// trailing zero entries leak representation details (the internal
+    /// vector only ever grows). Departed nodes are not counted.
+    pub fn coverage_histogram(&self) -> Vec<u32> {
+        let mut h = self.freq.clone();
+        while h.len() > 1 && h.last() == Some(&0) {
+            h.pop();
+        }
+        h
+    }
+
     /// Current radius of `u`.
     // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
     pub fn radius(&self, u: usize) -> f64 {
         self.radii[u]
+    }
+
+    /// Position of slot `u` (stable for the slot's lifetime; positions
+    /// are never mutated in place — mobility is depart + arrive).
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
+    pub fn position(&self, u: usize) -> Point {
+        self.points[u]
     }
 
     /// The maintained edge structure.
@@ -165,15 +206,43 @@ impl DynamicInterference {
         &self.graph
     }
 
-    /// Materializes the current state as a [`Topology`].
+    /// Materializes the current state as a [`Topology`] over *every*
+    /// slot, dead ones included (they appear as isolated vertices). This
+    /// is the raw slot view; for comparing against batch kernels — which
+    /// would charge coverage *to* an isolated dead slot — use
+    /// [`DynamicInterference::live_topology`].
     pub fn as_topology(&self) -> Topology {
         Topology::from_graph(NodeSet::new(self.points.clone()), self.graph.clone())
     }
 
-    /// Inserts `{u, v}`; returns `false` if the edge already existed.
-    /// Costs one disk query per endpoint whose radius (or transmit
-    /// status) changed — `O(affected)`.
+    /// Materializes the live state as a compacted [`Topology`], plus the
+    /// slot id behind each compacted node (ascending slot order). Dead
+    /// slots are dropped entirely, so a batch recompute over the result
+    /// is directly comparable with the maintained counts — this is the
+    /// view the replay-differential tests use.
+    // rim-lint: allow(panic-freedom) — compact[] covers every slot; edges connect live slots
+    pub fn live_topology(&self) -> (Topology, Vec<usize>) {
+        let slots: Vec<usize> = (0..self.len()).filter(|&v| self.alive[v]).collect();
+        let mut compact = vec![usize::MAX; self.len()];
+        for (i, &v) in slots.iter().enumerate() {
+            compact[v] = i;
+        }
+        let pts: Vec<Point> = slots.iter().map(|&v| self.points[v]).collect();
+        let mut g = AdjacencyList::new(slots.len());
+        for e in self.graph.edges() {
+            g.add_edge(compact[e.u], compact[e.v], e.weight);
+        }
+        (Topology::from_graph(NodeSet::new(pts), g), slots)
+    }
+
+    /// Inserts `{u, v}`; returns `false` if the edge already existed or
+    /// either endpoint has departed. Costs one disk query per endpoint
+    /// whose radius (or transmit status) changed — `O(affected)`.
+    // rim-lint: allow(panic-freedom) — node ids are caller-validated against the structure
     pub fn insert_edge(&mut self, u: usize, v: usize) -> bool {
+        if !self.alive[u] || !self.alive[v] {
+            return false;
+        }
         let d = self.points[u].dist(&self.points[v]);
         if !self.graph.add_edge(u, v, d) {
             return false;
@@ -222,6 +291,8 @@ impl DynamicInterference {
         let v = self.graph.add_vertex();
         self.points.push(p);
         self.radii.push(0.0);
+        self.alive.push(true);
+        self.live += 1;
         self.was_transmitting.push(false);
         // Coverage received by the newcomer: every transmitter whose disk
         // reaches p. Candidates are bounded by the maintained radius bound.
@@ -250,6 +321,40 @@ impl DynamicInterference {
             *r = coverage_r;
         }
         v
+    }
+
+    /// Removes (tombstones) node `v`: drops each incident edge through
+    /// the usual symmetric-difference patch — so neighbors' radii
+    /// re-tighten and every count `v`'s disk was charging is released —
+    /// then retires the coverage `v` itself was receiving from the
+    /// histogram and marks the slot dead. Departures are `O(affected)`
+    /// like every other edit. Returns `false` if `v` had already
+    /// departed.
+    ///
+    /// Slot ids stay stable: the dead slot keeps its position but
+    /// accepts no edges, receives no coverage, and is excluded from
+    /// [`DynamicInterference::live_topology`]. Insert-then-remove is an
+    /// exact no-op on the surviving nodes' counts and on the histogram
+    /// (regression-tested).
+    // rim-lint: allow(panic-freedom) — v is a maintained node id; per-node vectors grow in lockstep
+    pub fn remove_node(&mut self, v: usize) -> bool {
+        if !self.alive[v] {
+            return false;
+        }
+        rim_obs::counter_add("dynamic.node_removes", 1);
+        let nbrs: Vec<usize> = self.graph.neighbors(v).collect();
+        for w in nbrs {
+            self.remove_edge(v, w);
+        }
+        // v is now silent (degree 0 ⇒ not transmitting); what remains is
+        // the coverage it was *receiving*, which leaves the histogram
+        // with the node.
+        let c = self.cov[v] as usize;
+        self.histogram_remove(c);
+        self.cov[v] = 0;
+        self.alive[v] = false;
+        self.live -= 1;
+        true
     }
 
     /// Calls `f(u, dist(points[u], c))` for every node within distance
@@ -305,6 +410,17 @@ impl DynamicInterference {
         }
     }
 
+    /// Retires a node leaving the histogram at count `c` (departures).
+    // rim-lint: allow(panic-freedom) — `c` was previously added, so freq[c] exists and is > 0
+    fn histogram_remove(&mut self, c: usize) {
+        self.freq[c] -= 1;
+        if c == self.cur_max && self.freq[c] == 0 {
+            while self.cur_max > 0 && self.freq[self.cur_max] == 0 {
+                self.cur_max -= 1;
+            }
+        }
+    }
+
     /// Registers a fresh node entering the histogram at count `c`.
     // rim-lint: allow(panic-freedom) — freq is resized to cover `c` before indexing
     fn histogram_add(&mut self, c: usize) {
@@ -349,8 +465,8 @@ impl DynamicInterference {
         let mut deltas: Vec<(usize, usize, usize)> = Vec::new();
         let mut affected = 0u64;
         self.for_each_candidate(pu, query_r, |w, d| {
-            if w == u {
-                return;
+            if w == u || !self.alive[w] {
+                return; // dead slots receive no coverage
             }
             affected += 1;
             let before = was_tx && d <= old_r;
@@ -372,6 +488,156 @@ impl DynamicInterference {
             self.histogram_move(old_c, new_c);
         }
     }
+
+    /// Exports the maintained state for snapshotting. The result is
+    /// complete: [`DynamicInterference::from_state`] rebuilds a structure
+    /// whose observable behavior — counts, histogram, `I(G')`, *and* the
+    /// amortization schedule of future edits — is bit-identical to this
+    /// one's. `indexed_len` pins the spatial index's era (the pending
+    /// overlay is exactly the slots past it) and `radius_bound` the
+    /// monotone candidate bound; everything else (coverage counts,
+    /// histogram, transmit gating, edge weights) is derivable and is
+    /// recomputed on restore.
+    pub fn export_state(&self) -> DynState {
+        DynState {
+            points: self.points.clone(),
+            radii: self.radii.clone(),
+            alive: self.alive.clone(),
+            edges: self
+                .graph
+                .edges()
+                .iter()
+                .map(|e| (e.u as u32, e.v as u32))
+                .collect(),
+            indexed_len: self.indexed_len,
+            radius_bound: self.radius_bound,
+            fixed_radii: self.fixed_radii,
+        }
+    }
+
+    /// Rebuilds a structure from a previously exported [`DynState`],
+    /// validating every field (a corrupted snapshot yields an error, not
+    /// a panic or a silently wrong structure).
+    ///
+    /// Restoration is exact because the spatial index is a pure function
+    /// of `points[..indexed_len]` — positions are never mutated in
+    /// place, only appended (mobility is modeled as depart + arrive) —
+    /// so rebuilding it over that prefix reproduces the original
+    /// bit-for-bit, pending overlay included. Coverage counts are
+    /// recomputed from the same predicate the incremental patches
+    /// maintain, which the differential tests pin equal.
+    // rim-lint: allow(panic-freedom) — every index below is validated before use
+    pub fn from_state(s: DynState) -> Result<Self, String> {
+        let n = s.points.len();
+        if s.radii.len() != n || s.alive.len() != n {
+            return Err(format!(
+                "state vectors disagree: {n} points, {} radii, {} alive flags",
+                s.radii.len(),
+                s.alive.len()
+            ));
+        }
+        if s.indexed_len > n {
+            return Err(format!("indexed_len {} exceeds node count {n}", s.indexed_len));
+        }
+        if s.points.iter().any(|p| !p.is_finite()) {
+            return Err("non-finite node position".to_string());
+        }
+        let mut max_r = 0.0f64;
+        for &r in &s.radii {
+            if !(r.is_finite() && r >= 0.0) {
+                return Err(format!("radius {r} must be finite and >= 0"));
+            }
+            max_r = max_r.max(r);
+        }
+        if !(s.radius_bound.is_finite() && s.radius_bound >= max_r) {
+            return Err(format!(
+                "radius_bound {} below the maximum radius {max_r}",
+                s.radius_bound
+            ));
+        }
+        let mut graph = AdjacencyList::new(n);
+        for &(eu, ev) in &s.edges {
+            let (u, v) = (eu as usize, ev as usize);
+            if u >= n || v >= n || u == v {
+                return Err(format!("edge ({u}, {v}) out of range"));
+            }
+            if !s.alive[u] || !s.alive[v] {
+                return Err(format!("edge ({u}, {v}) touches a departed slot"));
+            }
+            // Weights are re-derived: dist() is a pure function of the
+            // (validated) positions, so nothing else needs encoding.
+            if !graph.add_edge(u, v, s.points[u].dist(&s.points[v])) {
+                return Err(format!("duplicate edge ({u}, {v})"));
+            }
+        }
+        let index = SpatialIndex::build(
+            &s.points[..s.indexed_len],
+            initial_cell_hint(&s.points[..s.indexed_len]),
+        );
+        let live = s.alive.iter().filter(|&&a| a).count();
+        let was_transmitting: Vec<bool> = (0..n).map(|u| s.alive[u] && graph.degree(u) > 0).collect();
+        let mut d = DynamicInterference {
+            points: s.points,
+            graph,
+            radii: s.radii,
+            cov: vec![0; n],
+            alive: s.alive,
+            live,
+            was_transmitting,
+            index,
+            indexed_len: s.indexed_len,
+            freq: vec![0],
+            cur_max: 0,
+            radius_bound: s.radius_bound,
+            fixed_radii: s.fixed_radii,
+        };
+        let mut cov = vec![0u32; n];
+        for u in 0..n {
+            if !d.was_transmitting[u] {
+                continue;
+            }
+            let (pu, ru) = (d.points[u], d.radii[u]);
+            d.for_each_candidate(pu, ru, |w, dist| {
+                if w != u && d.alive[w] && dist <= ru {
+                    cov[w] += 1;
+                }
+            });
+        }
+        d.cov = cov;
+        for v in 0..n {
+            if d.alive[v] {
+                d.histogram_add(d.cov[v] as usize);
+            }
+        }
+        Ok(d)
+    }
+}
+
+/// Raw maintained state of a [`DynamicInterference`] — everything a
+/// snapshot needs to rebuild the structure exactly, produced by
+/// [`DynamicInterference::export_state`] and consumed by
+/// [`DynamicInterference::from_state`]. Derived state (coverage counts,
+/// histogram, transmit gating, edge weights) is deliberately absent: it
+/// is recomputed on restore from the same predicates that maintain it,
+/// so a snapshot cannot encode an inconsistent structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DynState {
+    /// Every slot's position, dead slots included (ids are stable).
+    pub points: Vec<Point>,
+    /// Per-slot radius: link-derived, or pinned when `fixed_radii`.
+    pub radii: Vec<f64>,
+    /// Per-slot liveness; dead slots have no edges, no disk, and no
+    /// histogram entry.
+    pub alive: Vec<bool>,
+    /// Undirected edges between live slots.
+    pub edges: Vec<(u32, u32)>,
+    /// How many leading slots the spatial index covers; the rest are the
+    /// pending overlay.
+    pub indexed_len: usize,
+    /// Monotone upper bound on every radius since the last index rebuild.
+    pub radius_bound: f64,
+    /// Physical (fixed-radii) mode flag.
+    pub fixed_radii: bool,
 }
 
 /// Cell hint for the dynamic structure's index: the node-set diagonal
@@ -395,14 +661,25 @@ mod tests {
     use rim_geom::Point;
 
     fn check_consistent(d: &DynamicInterference) {
-        let t = d.as_topology();
+        let (t, slots) = d.live_topology();
         let want = interference_vector(&t);
-        let got: Vec<usize> = (0..d.len()).map(|v| d.interference_at(v)).collect();
+        let got: Vec<usize> = slots.iter().map(|&v| d.interference_at(v)).collect();
         assert_eq!(got, want, "dynamic counts diverged from batch kernel");
         assert_eq!(
             d.graph_interference(),
             want.iter().copied().max().unwrap_or(0),
             "histogram max diverged"
+        );
+        // Dead slots must hold no coverage and take no histogram space.
+        for v in 0..d.len() {
+            if !d.is_live(v) {
+                assert_eq!(d.interference_at(v), 0, "dead slot {v} holds coverage");
+            }
+        }
+        assert_eq!(
+            d.coverage_histogram().iter().map(|&c| c as usize).sum::<usize>(),
+            d.live_count(),
+            "histogram mass != live node count"
         );
     }
 
@@ -519,6 +796,224 @@ mod tests {
             }
         }
         check_consistent(&d);
+    }
+
+    /// Satellite regression for the `remove_node` asymmetry fix:
+    /// arriving, linking up, unlinking, and departing must restore the
+    /// *exact* prior state — per-node counts, radii, `I(G')`, and the
+    /// full coverage-count histogram.
+    #[test]
+    fn insert_then_remove_node_restores_prior_state() {
+        let ns = NodeSet::on_line(&[0.0, 0.2, 0.5, 0.9]);
+        let mut d = DynamicInterference::new(ns);
+        d.insert_edge(0, 1);
+        d.insert_edge(1, 2);
+        d.insert_edge(2, 3);
+        let counts: Vec<usize> = (0..4).map(|v| d.interference_at(v)).collect();
+        let radii: Vec<f64> = (0..4).map(|v| d.radius(v)).collect();
+        let max = d.graph_interference();
+        let hist = d.coverage_histogram();
+
+        // A well-connected arrival right in the middle of the instance.
+        let v = d.insert_node(Point::on_line(0.45));
+        d.insert_edge(v, 1);
+        d.insert_edge(v, 2);
+        d.insert_edge(v, 3);
+        check_consistent(&d);
+        assert_ne!(d.coverage_histogram(), hist, "the arrival must be visible");
+
+        assert!(d.remove_node(v));
+        check_consistent(&d);
+        assert!(!d.remove_node(v), "double departure");
+        assert!(!d.is_live(v));
+        assert_eq!(d.live_count(), 4);
+        assert!(!d.insert_edge(v, 0), "dead slots accept no edges");
+
+        let counts_after: Vec<usize> = (0..4).map(|u| d.interference_at(u)).collect();
+        let radii_after: Vec<f64> = (0..4).map(|u| d.radius(u)).collect();
+        assert_eq!(counts_after, counts, "counts must be restored exactly");
+        assert_eq!(d.graph_interference(), max);
+        assert_eq!(d.coverage_histogram(), hist, "histogram must be restored exactly");
+        for (a, b) in radii_after.iter().zip(&radii) {
+            // rim-lint: allow(float-eq) — radii are dist() copies; restoration must be exact
+            assert!(a == b, "radius drifted: {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn removing_a_hub_patches_every_neighbor() {
+        // A star: the hub's disk covers everyone; removing it must
+        // release all of that coverage and re-tighten leaf radii to 0.
+        let ns = NodeSet::on_line(&[0.0, -0.3, 0.3, -0.6, 0.6]);
+        let mut d = DynamicInterference::new(ns);
+        for leaf in 1..5 {
+            d.insert_edge(0, leaf);
+        }
+        check_consistent(&d);
+        assert!(d.remove_node(0));
+        check_consistent(&d);
+        assert_eq!(d.graph_interference(), 0, "leaves are isolated now");
+        for leaf in 1..5 {
+            // rim-lint: allow(float-eq) — exact: radius re-derived from an empty edge set
+            assert!(d.radius(leaf) == 0.0);
+        }
+        // Surviving nodes keep editing normally around the tombstone.
+        assert!(d.insert_edge(1, 2));
+        check_consistent(&d);
+        let w = d.insert_node(Point::on_line(0.05));
+        assert!(d.insert_edge(w, 1));
+        check_consistent(&d);
+    }
+
+    #[test]
+    fn churning_updates_stay_consistent_with_departures() {
+        let mut state = 11u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            (state >> 33) as usize
+        };
+        let pts: Vec<Point> = (0..12)
+            .map(|i| Point::new((i % 4) as f64 * 0.3, (i / 4) as f64 * 0.3))
+            .collect();
+        let mut d = DynamicInterference::new(NodeSet::new(pts));
+        for step in 0..300 {
+            match rnd() % 10 {
+                0 => {
+                    let x = (rnd() % 100) as f64 * 0.012;
+                    let y = (rnd() % 100) as f64 * 0.012;
+                    d.insert_node(Point::new(x, y));
+                }
+                1 if d.live_count() > 3 => {
+                    // Depart a random live slot.
+                    let mut v = rnd() % d.len();
+                    while !d.is_live(v) {
+                        v = (v + 1) % d.len();
+                    }
+                    d.remove_node(v);
+                }
+                _ => {
+                    let (a, b) = (rnd() % d.len(), rnd() % d.len());
+                    if a != b && d.is_live(a) && d.is_live(b) {
+                        if d.graph().has_edge(a, b) {
+                            d.remove_edge(a, b);
+                        } else {
+                            d.insert_edge(a, b);
+                        }
+                    }
+                }
+            }
+            if step % 25 == 0 {
+                check_consistent(&d);
+            }
+        }
+        check_consistent(&d);
+    }
+
+    #[test]
+    fn export_restore_roundtrips_exactly() {
+        // Build a structure with edges, arrivals past the rebuild
+        // threshold, and departures; restore must reproduce it exactly
+        // and then *behave* identically on further edits.
+        let mut d = DynamicInterference::new(NodeSet::on_line(&[0.0, 0.1, 0.25]));
+        d.insert_edge(0, 1);
+        d.insert_edge(1, 2);
+        for i in 0..90usize {
+            let v = d.insert_node(Point::new((i % 10) as f64 * 0.07, (i / 10) as f64 * 0.07));
+            if i % 4 == 0 {
+                d.insert_edge(v, i % 3);
+            }
+            if i % 7 == 0 && d.live_count() > 5 {
+                d.remove_node(3 + (i % 30));
+            }
+        }
+        check_consistent(&d);
+
+        let s = d.export_state();
+        let mut r = DynamicInterference::from_state(s.clone()).expect("exported state is valid");
+        assert_eq!(r.export_state(), s, "restore must re-export identically");
+        assert_eq!(r.live_count(), d.live_count());
+        assert_eq!(r.graph_interference(), d.graph_interference());
+        assert_eq!(r.coverage_histogram(), d.coverage_histogram());
+        let dc: Vec<usize> = (0..d.len()).map(|v| d.interference_at(v)).collect();
+        let rc: Vec<usize> = (0..r.len()).map(|v| r.interference_at(v)).collect();
+        assert_eq!(rc, dc, "restored counts diverge");
+
+        // Drive both copies through the same edit tail: every observable
+        // must stay in lockstep (this is the bit-exact replay property
+        // the churn snapshot layer builds on).
+        for i in 0..40usize {
+            let p = Point::new(0.03 * i as f64, 0.5);
+            assert_eq!(d.insert_node(p), r.insert_node(p));
+            if i % 3 == 0 {
+                let v = d.len() - 1;
+                assert_eq!(d.insert_edge(v, 0), r.insert_edge(v, 0));
+            }
+            if i % 5 == 0 {
+                let v = 4 + i;
+                assert_eq!(d.remove_node(v), r.remove_node(v));
+            }
+            assert_eq!(d.graph_interference(), r.graph_interference());
+        }
+        assert_eq!(d.export_state(), r.export_state(), "divergence after the edit tail");
+        check_consistent(&d);
+        check_consistent(&r);
+    }
+
+    #[test]
+    fn from_state_rejects_corrupted_snapshots() {
+        let mut d = DynamicInterference::new(NodeSet::on_line(&[0.0, 0.4]));
+        d.insert_edge(0, 1);
+        d.remove_node(1);
+        let good = d.export_state();
+        assert!(DynamicInterference::from_state(good.clone()).is_ok());
+
+        let mut bad = good.clone();
+        bad.radii.pop();
+        assert!(DynamicInterference::from_state(bad).is_err(), "length mismatch");
+
+        let mut bad = good.clone();
+        bad.indexed_len = 99;
+        assert!(DynamicInterference::from_state(bad).is_err(), "indexed_len overflow");
+
+        let mut bad = good.clone();
+        bad.edges.push((0, 1));
+        assert!(DynamicInterference::from_state(bad).is_err(), "edge to a dead slot");
+
+        let mut bad = good.clone();
+        bad.edges.push((0, 7));
+        assert!(DynamicInterference::from_state(bad).is_err(), "edge out of range");
+
+        let mut bad = good.clone();
+        bad.radius_bound = f64::NAN;
+        assert!(DynamicInterference::from_state(bad).is_err(), "NaN bound");
+
+        let mut bad = good.clone();
+        bad.radii[0] = -1.0;
+        assert!(DynamicInterference::from_state(bad).is_err(), "negative radius");
+
+        let mut bad = good;
+        bad.radius_bound = 0.0; // below the surviving radius
+        bad.radii[0] = 0.5;
+        assert!(DynamicInterference::from_state(bad).is_err(), "bound below max radius");
+    }
+
+    #[test]
+    fn physical_mode_departure_keeps_pinned_radii() {
+        let ns = NodeSet::on_line(&[0.0, 0.2, 0.5]);
+        let radii = [0.6, 0.3, 0.45];
+        let mut d = DynamicInterference::new_physical(ns, &radii);
+        d.insert_edge(0, 1);
+        d.insert_edge(1, 2);
+        check_physical_consistent(&d, &radii);
+        assert!(d.remove_node(1));
+        // Survivors keep their pinned radii and their gating.
+        // rim-lint: allow(float-eq) — pinned radii must be bit-identical
+        assert!(d.radius(0) == 0.6 && d.radius(2) == 0.45);
+        assert_eq!(d.graph_interference(), 0, "both survivors lost their only link");
+        let s = d.export_state();
+        let r = DynamicInterference::from_state(s).expect("physical state restores");
+        assert!(r.is_physical());
+        assert_eq!(r.live_count(), 2);
     }
 
     #[test]

@@ -69,7 +69,7 @@ pub mod sender;
 
 pub use analysis::InterferenceSummary;
 pub use optimal::{min_interference_topology, OptimalResult, SolverLimits};
-pub use dynamic::DynamicInterference;
+pub use dynamic::{DynState, DynamicInterference};
 pub use receiver::{
     graph_interference, graph_interference_with, interference_at, interference_vector,
     interference_vector_naive, interference_vector_with, Engine,

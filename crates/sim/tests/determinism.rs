@@ -43,6 +43,56 @@ fn config() -> SimConfig {
     }
 }
 
+/// Churn extension of the same two claims, against the long-horizon
+/// workload: same `(seed, trace)` ⇒ byte-identical checkpoint JSONL,
+/// and the churned end state reads identically under every batch
+/// engine (naive / indexed / parallel — 0, 0, and N worker threads).
+///
+/// This test deliberately touches neither the obs recorder's installed
+/// state nor the `sim.events` counter, so it can coexist with the
+/// recorder-owning test below (churn increments only `churn.*` /
+/// `dynamic.*` counters, which that test never reads).
+#[test]
+fn churn_runs_are_deterministic_and_engine_invariant() {
+    use rim_churn::{ChurnConfig, ChurnSim, Family};
+    use rim_core::receiver::{interference_vector_naive, interference_vector_with};
+
+    let cfg = ChurnConfig { family: Family::Uniform, n0: 72, seed: 9_001 };
+    let jsonl_of = |edits: u64| {
+        let mut sim = ChurnSim::new(cfg, edits);
+        let mut out = Vec::new();
+        while sim.step().is_some() {
+            if sim.counts().edits % 400 == 0 {
+                out.push(sim.checkpoint_record());
+            }
+        }
+        out.push(sim.checkpoint_record());
+        (out.join("\n"), sim)
+    };
+
+    // Claim 1: replay from the same (seed, trace) is byte-identical.
+    let (a, sim_a) = jsonl_of(3_000);
+    let (b, sim_b) = jsonl_of(3_000);
+    assert_eq!(a, b, "same (seed, trace): checkpoint JSONL must be byte-identical");
+    assert!(a.lines().count() >= 8, "checkpoints did not sample the run");
+
+    // Claim 2: the churned end state reads the same under every engine
+    // (the parallel engine shards across worker threads internally).
+    let (t, slots) = sim_a.engine().live_topology();
+    let want = interference_vector_naive(&t);
+    for engine in [Engine::Indexed, Engine::Parallel] {
+        assert_eq!(
+            interference_vector_with(&t, engine),
+            want,
+            "engine {} diverged on the churned instance",
+            engine.name()
+        );
+    }
+    let got: Vec<usize> = slots.iter().map(|&v| sim_a.engine().interference_at(v)).collect();
+    assert_eq!(got, want, "maintained churn counts diverged from the batch oracle");
+    drop(sim_b);
+}
+
 #[test]
 fn runs_are_deterministic_and_thread_count_invariant() {
     let ns = nodes();

@@ -494,6 +494,10 @@ pub const PANIC_FREE_ROOTS: &[&str] = &[
     "interference_counts",
     "interference_counts_sharded",
     "par_scatter_u32",
+    "remove_node",
+    "apply_edit",
+    "encode_snapshot",
+    "decode_snapshot",
 ];
 
 /// Finds the first occurrence of each panicking construct inside a

@@ -774,6 +774,9 @@ pub const DETERMINISM_ROOTS: &[&str] = &[
     "sinr_interference_with",
     "interference_counts_sharded",
     "par_scatter_u32",
+    "remove_node",
+    "apply_edit",
+    "encode_snapshot",
 ];
 
 /// Atomic read-modify-write methods (order-sensitive cross-thread

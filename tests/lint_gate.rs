@@ -119,6 +119,33 @@ fn streaming_kernel_obligations_stay_registered() {
 }
 
 #[test]
+fn churn_hot_path_obligations_stay_registered() {
+    // The churn layer's standing obligations: the whole edit hot path
+    // (op application and tombstoning departures) plus both snapshot
+    // codec entry points are panic-free roots, and the replay-equality
+    // surface (apply_edit, remove_node, the snapshot encoder) must not
+    // reach RNG draws, wall-clock reads, or atomic RMW — bit-exact
+    // (seed, trace) replay and snapshot restore depend on it. Dropping
+    // any of these would silently un-audit rim-churn.
+    for root in ["remove_node", "apply_edit", "encode_snapshot", "decode_snapshot"] {
+        assert!(
+            rim_xtask::audit::PANIC_FREE_ROOTS.contains(&root),
+            "`{root}` must stay in PANIC_FREE_ROOTS"
+        );
+    }
+    for root in ["remove_node", "apply_edit", "encode_snapshot"] {
+        assert!(
+            rim_xtask::flow::DETERMINISM_ROOTS.contains(&root),
+            "`{root}` must stay in DETERMINISM_ROOTS"
+        );
+    }
+    assert!(
+        rim_xtask::audit::RETAINED_ORACLES.contains(&"interference_vector_naive"),
+        "the naive oracle anchors the churn replay-differential suite"
+    );
+}
+
+#[test]
 fn graph_oracle_verdicts_agree_with_the_token_scan() {
     // Same workspace, both implementations: the graph-based audit is
     // stricter in general (it needs a call chain, not a mention), but on
